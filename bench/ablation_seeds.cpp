@@ -1,0 +1,63 @@
+// Ablation: multi-seed scaling (paper observation 6).
+//
+// Sweeps the seed count 1..10 at fixed volumes and reports constitution and
+// collection times. The paper observes that adding seeds speeds the
+// counting only until the spanning forest evenly covers the region, and
+// recommends a single sink as the cost-effective deployment; this bench
+// quantifies both the diminishing constitution returns and the (larger)
+// collection gains from shallower trees.
+#include "figure_common.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::FigureOptions opts;
+  if (!bench::parse_figure_options(argc, argv, "ablation_seeds",
+                                   "multi-seed scaling ablation", &opts)) {
+    return 1;
+  }
+  experiment::SweepConfig sweep;
+  sweep.volumes_pct = {25, 50, 100};
+  sweep.seed_counts = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  sweep.replicas = static_cast<int>(opts.replicas);
+  sweep.threads = static_cast<std::size_t>(opts.threads);
+  sweep.base = bench::paper_scenario(experiment::SystemMode::Closed,
+                                     util::kSpeedLimit15MphMps);
+  sweep.base.seed = static_cast<std::uint64_t>(opts.seed);
+  sweep.base.time_limit_minutes = static_cast<double>(opts.time_limit_min);
+
+  const auto cells = experiment::run_sweep(sweep);
+  util::TextTable table({"volume%", "seeds", "constitution avg(min)",
+                         "collection avg(min)", "wave covered(min)", "exact"});
+  for (const auto& cell : cells) {
+    table.add_row({util::format("%.0f", cell.volume_pct), std::to_string(cell.num_seeds),
+                   util::format("%.2f", cell.constitution_avg_min),
+                   util::format("%.2f", cell.collection_avg_min),
+                   util::format("%.2f", cell.time_all_active_min),
+                   cell.all_exact && cell.collection_converged ? "yes" : "NO"});
+  }
+  std::cout << "== Ablation: seed-count scaling (closed, 15 mph, 30% loss) ==\n";
+  table.print(std::cout);
+
+  // Headline: speedup from 1 -> 10 seeds at each volume.
+  for (const double volume : sweep.volumes_pct) {
+    double t1 = 0, t10 = 0, c1 = 0, c10 = 0;
+    for (const auto& cell : cells) {
+      if (cell.volume_pct != volume) continue;
+      if (cell.num_seeds == 1) {
+        t1 = cell.constitution_avg_min;
+        c1 = cell.collection_avg_min;
+      }
+      if (cell.num_seeds == 10) {
+        t10 = cell.constitution_avg_min;
+        c10 = cell.collection_avg_min;
+      }
+    }
+    std::cout << util::format(
+        "vol %3.0f%%: 10 seeds vs 1: constitution %.0f%% quicker, collection %.0f%% "
+        "quicker\n",
+        volume, (t1 - t10) / t1 * 100.0, (c1 - c10) / c1 * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces paper Fig. 2 (a)-(c): elapsed time for each checkpoint to
+// constitute a stable local result with Alg. 3 in the *closed* New York
+// midtown system, as a function of traffic volume (10-100% of daily
+// average) and number of initial seeds (1-10). 15 mph speed limit, 30%
+// lossy wireless, overtakes enabled.
+//
+// Paper reference: surfaces spanning ~9-30 minutes; decreasing in volume
+// and (mildly) in seed count. The max/min/avg columns correspond to the
+// paper's panels (a), (b), (c).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::FigureOptions opts;
+  if (!bench::parse_figure_options(argc, argv, "fig2_closed_constitution",
+                                   "Fig. 2: Alg. 3 constitution time, closed system",
+                                   &opts)) {
+    return 1;
+  }
+  const auto base =
+      bench::paper_scenario(experiment::SystemMode::Closed, util::kSpeedLimit15MphMps);
+  const auto sweep = bench::make_sweep(opts, base);
+  bench::run_and_report(
+      "Fig. 2 — per-checkpoint constitution time (min), closed system, 15 mph",
+      sweep, experiment::FigureKind::Constitution, opts.csv);
+  return 0;
+}

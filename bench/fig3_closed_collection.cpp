@@ -1,0 +1,26 @@
+// Reproduces paper Fig. 3 (a)-(c): time needed for the seed(s) — the data
+// sinks — to obtain the global view after both Alg. 3 (counting) and
+// Alg. 4 (collection along the predecessor/successor spanning forest)
+// converge, in the closed midtown system.
+//
+// Paper reference: surfaces spanning ~20-50 minutes, roughly 1.7x the
+// constitution time of Fig. 2; max/min/avg over the seeds' completion
+// times correspond to panels (a), (b), (c).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::FigureOptions opts;
+  if (!bench::parse_figure_options(argc, argv, "fig3_closed_collection",
+                                   "Fig. 3: Alg. 3+4 global-view time, closed system",
+                                   &opts)) {
+    return 1;
+  }
+  const auto base =
+      bench::paper_scenario(experiment::SystemMode::Closed, util::kSpeedLimit15MphMps);
+  const auto sweep = bench::make_sweep(opts, base);
+  bench::run_and_report(
+      "Fig. 3 — seeds' global-view collection time (min), closed system, 15 mph",
+      sweep, experiment::FigureKind::Collection, opts.csv);
+  return 0;
+}

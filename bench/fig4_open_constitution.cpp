@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 4: open-system constitution and the speed-limit
+// ablation.
+//   (a) Alg. 5 time to reach the "complete status" in the *open* midtown
+//       system at 15 mph;
+//   (b) the same after the speed limit is lifted to 25 mph — the paper
+//       reports 34-40% quicker than (a);
+//   (c) Alg. 3 in the *closed* system at 25 mph with a denser-checkpoint,
+//       smaller region (paper: area shrinks 64% => scale 0.6) — reported
+//       up to 58% quicker than Fig. 2 (c).
+// A closed 15 mph baseline is also run to quantify (a) vs Fig. 2(c) (the
+// paper's observation 3: the open/closed gap is limited) and (c)'s speedup.
+#include "figure_common.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::FigureOptions opts;
+  if (!bench::parse_figure_options(
+          argc, argv, "fig4_open_constitution",
+          "Fig. 4: Alg. 5 complete-status time, open system + speedups", &opts)) {
+    return 1;
+  }
+  using experiment::FigureKind;
+  using experiment::SystemMode;
+
+  // (a) open, 15 mph.
+  const auto open15 = bench::run_and_report(
+      "Fig. 4(a) — Alg. 5 complete-status time (min), open system, 15 mph",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+                                                    util::kSpeedLimit15MphMps)),
+      FigureKind::Constitution, opts.csv);
+
+  // (b) open, 25 mph.
+  const auto open25 = bench::run_and_report(
+      "Fig. 4(b) — same after speed limit lifted to 25 mph",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+                                                    util::kSpeedLimit25MphMps)),
+      FigureKind::Constitution, opts.csv);
+
+  // (c) closed, 25 mph, denser deployment (region scaled to 0.6 => area -64%).
+  const auto closed25 = bench::run_and_report(
+      "Fig. 4(c) — Alg. 3 closed system, 25 mph, region scaled 0.6 (denser checkpoints)",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+                                                    util::kSpeedLimit25MphMps, 0.6)),
+      FigureKind::Constitution, opts.csv);
+
+  // Closed 15 mph baseline (Fig. 2(c)) for the comparisons the paper makes.
+  const auto closed15 = bench::run_and_report(
+      "Reference — Alg. 3 closed system, 15 mph (Fig. 2(c) baseline)",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+                                                    util::kSpeedLimit15MphMps)),
+      FigureKind::Constitution, opts.csv);
+
+  const auto b_vs_a =
+      experiment::summarize_speedup(open15, open25, FigureKind::Constitution);
+  const auto c_vs_fig2c =
+      experiment::summarize_speedup(closed15, closed25, FigureKind::Constitution);
+  const auto a_vs_fig2c =
+      experiment::summarize_speedup(closed15, open15, FigureKind::Constitution);
+
+  std::cout << "== Fig. 4 headline comparisons ==\n"
+            << util::format(
+                   "(b) vs (a): %.0f%%..%.0f%% quicker (avg %.0f%%)   [paper: 34-40%%]\n",
+                   b_vs_a.min_improvement_pct, b_vs_a.max_improvement_pct,
+                   b_vs_a.avg_improvement_pct)
+            << util::format(
+                   "(c) vs Fig.2(c): up to %.0f%% quicker (avg %.0f%%)   [paper: up to 58%%]\n",
+                   c_vs_fig2c.max_improvement_pct, c_vs_fig2c.avg_improvement_pct)
+            << util::format(
+                   "(a) vs Fig.2(c): open is %.0f%% slower on average   [paper: limited gap]\n",
+                   -a_vs_fig2c.avg_improvement_pct);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 5: time for the seed(s) to *fetch* the complete
+// status (Alg. 5 counting + Alg. 4 collection) in the open system.
+//   (a) open system at 15 mph;
+//   (b) after the 25 mph speed-limit lift — paper: 34-40% quicker;
+//   (c) Alg. 3 + Alg. 4 in the closed system after the same speedup
+//       (25 mph, region scale 0.6) — paper: up to 57% quicker than
+//       Fig. 3(c).
+// A closed 15 mph baseline quantifies the comparisons.
+#include "figure_common.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::FigureOptions opts;
+  if (!bench::parse_figure_options(
+          argc, argv, "fig5_open_collection",
+          "Fig. 5: seeds fetch the complete status, open system + speedups", &opts)) {
+    return 1;
+  }
+  using experiment::FigureKind;
+  using experiment::SystemMode;
+
+  const auto open15 = bench::run_and_report(
+      "Fig. 5(a) — seeds fetch complete status (min), open system, 15 mph",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+                                                    util::kSpeedLimit15MphMps)),
+      FigureKind::Collection, opts.csv);
+
+  const auto open25 = bench::run_and_report(
+      "Fig. 5(b) — same after speed limit lifted to 25 mph",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+                                                    util::kSpeedLimit25MphMps)),
+      FigureKind::Collection, opts.csv);
+
+  const auto closed25 = bench::run_and_report(
+      "Fig. 5(c) — Alg. 3+4 closed system, 25 mph, region scaled 0.6",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+                                                    util::kSpeedLimit25MphMps, 0.6)),
+      FigureKind::Collection, opts.csv);
+
+  const auto closed15 = bench::run_and_report(
+      "Reference — Alg. 3+4 closed system, 15 mph (Fig. 3(c) baseline)",
+      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+                                                    util::kSpeedLimit15MphMps)),
+      FigureKind::Collection, opts.csv);
+
+  const auto b_vs_a = experiment::summarize_speedup(open15, open25, FigureKind::Collection);
+  const auto c_vs_fig3c =
+      experiment::summarize_speedup(closed15, closed25, FigureKind::Collection);
+
+  std::cout << "== Fig. 5 headline comparisons ==\n"
+            << util::format(
+                   "(b) vs (a): %.0f%%..%.0f%% quicker (avg %.0f%%)   [paper: 34-40%%]\n",
+                   b_vs_a.min_improvement_pct, b_vs_a.max_improvement_pct,
+                   b_vs_a.avg_improvement_pct)
+            << util::format(
+                   "(c) vs Fig.3(c): up to %.0f%% quicker (avg %.0f%%)   [paper: up to 57%%]\n",
+                   c_vs_fig3c.max_improvement_pct, c_vs_fig3c.avg_improvement_pct);
+  return 0;
+}

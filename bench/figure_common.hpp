@@ -1,0 +1,114 @@
+// Shared scaffolding for the figure-reproduction benches (Figs. 2-5).
+//
+// Every figure bench sweeps the paper's evaluation grid — traffic volume
+// 10..100 % of daily average x 1..10 randomly-placed seeds — over the
+// Manhattan-midtown-like network, runs each cell to convergence on the
+// thread pool, verifies the zero-mis/double-counting claim on every run,
+// and prints the max/min/avg rows the paper's surface plots are drawn from.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "experiment/figure.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+namespace ivc::bench {
+
+struct FigureOptions {
+  std::int64_t replicas = 1;
+  std::int64_t seed = 2014;  // ICPP year; any value works
+  bool full_grid = false;    // full 10x10 grid vs the quicker default
+  bool csv = false;
+  std::int64_t threads = 0;
+  std::int64_t time_limit_min = 360;
+};
+
+inline bool parse_figure_options(int argc, char** argv, const std::string& name,
+                                 const std::string& what, FigureOptions* out) {
+  util::Cli cli(name, what);
+  cli.add_int("replicas", &out->replicas, "replicas per grid cell");
+  cli.add_int("seed", &out->seed, "master RNG seed");
+  cli.add_flag("full-grid", &out->full_grid,
+               "sweep the paper's full 10 volumes x 10 seed counts");
+  cli.add_flag("csv", &out->csv, "also print machine-readable CSV");
+  cli.add_int("threads", &out->threads, "worker threads (0 = all cores)");
+  cli.add_int("time-limit", &out->time_limit_min, "per-run sim-time limit (minutes)");
+  return cli.parse(argc, argv);
+}
+
+// The paper's axes. The quick grid samples the same ranges coarsely so the
+// default bench finishes in a couple of minutes on a laptop.
+inline experiment::SweepConfig make_sweep(const FigureOptions& opts,
+                                          const experiment::ScenarioConfig& base) {
+  experiment::SweepConfig sweep;
+  if (opts.full_grid) {
+    sweep.volumes_pct = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+    sweep.seed_counts = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  } else {
+    sweep.volumes_pct = {10, 25, 50, 75, 100};
+    sweep.seed_counts = {1, 2, 4, 6, 8, 10};
+  }
+  sweep.replicas = static_cast<int>(opts.replicas);
+  sweep.threads = static_cast<std::size_t>(opts.threads);
+  sweep.base = base;
+  sweep.base.seed = static_cast<std::uint64_t>(opts.seed);
+  sweep.base.time_limit_minutes = static_cast<double>(opts.time_limit_min);
+  return sweep;
+}
+
+inline experiment::ScenarioConfig paper_scenario(experiment::SystemMode mode,
+                                                 double speed_limit_mps,
+                                                 double map_scale = 1.0) {
+  experiment::ScenarioConfig config;
+  config.mode = mode;
+  config.map.speed_limit = speed_limit_mps;
+  config.map.scale = map_scale;
+  // A scaled region keeps the same traffic *density*: the vehicle fleet
+  // shrinks with the area and boundary inflow with the perimeter, matching
+  // the paper's "smaller region, denser checkpoints" framing for
+  // Fig. 4(c)/5(c).
+  const double area_ratio = map_scale * map_scale;
+  config.vehicles_at_100pct =
+      static_cast<std::size_t>(static_cast<double>(config.vehicles_at_100pct) * area_ratio);
+  config.arrival_rate_at_100pct *= map_scale;
+  config.protocol.channel_loss = 0.30;  // paper: 30% failure chance
+  return config;
+}
+
+inline std::vector<experiment::SweepCell> run_and_report(
+    const std::string& title, const experiment::SweepConfig& sweep,
+    experiment::FigureKind kind, bool csv) {
+  std::cerr << title << ": sweeping " << sweep.volumes_pct.size() << " volumes x "
+            << sweep.seed_counts.size() << " seed counts x " << sweep.replicas
+            << " replica(s)\n";
+  const auto cells = experiment::run_sweep(sweep, [](std::size_t done, std::size_t total) {
+    if (done == total || done % 10 == 0) {
+      std::cerr << "  " << done << "/" << total << " runs complete\r" << std::flush;
+    }
+  });
+  std::cerr << "\n";
+  print_figure_table(std::cout, title, cells, kind);
+  if (csv) {
+    std::cout << "\n-- CSV --\n";
+    print_figure_csv(std::cout, cells, kind);
+  }
+  bool all_ok = true;
+  for (const auto& cell : cells) {
+    const bool converged = kind == experiment::FigureKind::Constitution
+                               ? cell.constitution_converged
+                               : cell.collection_converged;
+    all_ok = all_ok && converged && cell.all_exact;
+  }
+  std::cout << (all_ok ? "[OK] every run converged with an exact count "
+                         "(no mis- or double-counting)\n"
+                       : "[WARN] some cells failed to converge or miscounted — "
+                         "see table\n");
+  std::cout << std::endl;
+  return cells;
+}
+
+}  // namespace ivc::bench

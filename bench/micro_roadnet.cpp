@@ -1,0 +1,78 @@
+// Microbenchmarks: road network construction and graph algorithms.
+#include <benchmark/benchmark.h>
+
+#include "roadnet/graph.hpp"
+#include "roadnet/manhattan.hpp"
+#include "roadnet/patrol_planner.hpp"
+
+namespace {
+
+using namespace ivc;
+
+roadnet::ManhattanConfig grid_config(int streets, int avenues) {
+  roadnet::ManhattanConfig config;
+  config.streets = streets;
+  config.avenues = avenues;
+  return config;
+}
+
+void BM_BuildManhattanGrid(benchmark::State& state) {
+  const auto config = grid_config(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto net = roadnet::make_manhattan_grid(config);
+    benchmark::DoNotOptimize(net.num_segments());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "x" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_BuildManhattanGrid)->Args({10, 5})->Args({20, 7})->Args({36, 10});
+
+void BM_StronglyConnectedComponents(benchmark::State& state) {
+  const auto net = roadnet::make_manhattan_grid(
+      grid_config(static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    int count = 0;
+    auto comp = roadnet::strongly_connected_components(net, &count);
+    benchmark::DoNotOptimize(comp.data());
+  }
+}
+BENCHMARK(BM_StronglyConnectedComponents)->Arg(10)->Arg(20)->Arg(36);
+
+void BM_DijkstraSingleSource(benchmark::State& state) {
+  const auto net = roadnet::make_manhattan_grid(
+      grid_config(static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    auto dist = roadnet::shortest_path_distances(net, roadnet::NodeId{0},
+                                                 roadnet::EdgeWeight::FreeFlowTime);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraSingleSource)->Arg(10)->Arg(20)->Arg(36);
+
+void BM_ShortestPathPointToPoint(benchmark::State& state) {
+  const auto net = roadnet::make_manhattan_grid(grid_config(20, 7));
+  const roadnet::NodeId from{0};
+  const roadnet::NodeId to{static_cast<std::uint32_t>(net.num_intersections() - 1)};
+  for (auto _ : state) {
+    auto path = roadnet::shortest_path(net, from, to, roadnet::EdgeWeight::Length);
+    benchmark::DoNotOptimize(path.edges.data());
+  }
+}
+BENCHMARK(BM_ShortestPathPointToPoint);
+
+void BM_PlanPatrolRoute(benchmark::State& state) {
+  const auto net = roadnet::make_manhattan_grid(
+      grid_config(static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    auto route = roadnet::plan_patrol_route(net, roadnet::NodeId{0});
+    benchmark::DoNotOptimize(route.edges.data());
+  }
+  const auto route = roadnet::plan_patrol_route(net, roadnet::NodeId{0});
+  state.counters["edges"] = static_cast<double>(route.edges.size());
+  state.counters["km"] = route.total_length / 1000.0;
+}
+BENCHMARK(BM_PlanPatrolRoute)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

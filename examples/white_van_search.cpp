@@ -1,0 +1,84 @@
+// "Does anyone see that white van?" — specified-type counting.
+//
+// The paper motivates this extension with the 2002 Beltway sniper attacks:
+// eyewitnesses reported a white van, and police had no way to know how many
+// white vans were actually inside the perimeter. This example counts every
+// white van in the (closed) midtown region with the full Alg. 3 protocol —
+// 30% lossy labeling, multi-lane overtakes — and checks the result against
+// ground truth. No VIN or ownership data is used anywhere: checkpoints
+// match exterior characteristics only.
+//
+//   ./white_van_search [--volume 50] [--seeds 2] [--rng 42]
+#include <cstdio>
+
+#include "counting/oracle.hpp"
+#include "counting/protocol.hpp"
+#include "roadnet/manhattan.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/router.hpp"
+#include "traffic/sim_engine.hpp"
+#include "util/cli.hpp"
+
+using namespace ivc;
+
+int main(int argc, char** argv) {
+  double volume = 50.0;
+  std::int64_t seeds = 2;
+  std::int64_t rng = 42;
+  util::Cli cli("white_van_search", "count all white vans in midtown, no VINs needed");
+  cli.add_double("volume", &volume, "traffic volume, % of daily average");
+  cli.add_int("seeds", &seeds, "number of seed checkpoints / data sinks");
+  cli.add_int("rng", &rng, "replica RNG seed");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const roadnet::RoadNetwork net = roadnet::make_manhattan_grid({});
+  traffic::SimConfig sim;
+  sim.seed = static_cast<std::uint64_t>(rng);
+  traffic::SimEngine engine(net, sim);
+  traffic::Router router(net, static_cast<std::uint64_t>(rng) + 1);
+  traffic::DemandConfig dc;
+  dc.volume_pct = volume;
+  dc.seed = static_cast<std::uint64_t>(rng) + 2;
+  traffic::DemandModel demand(engine, router, dc);
+  engine.set_route_planner([&demand](traffic::VehicleId v, roadnet::NodeId n) {
+    return demand.plan_continuation(v, n);
+  });
+  const std::size_t placed = demand.init_population();
+
+  counting::ProtocolConfig pc;
+  pc.target = surveillance::TargetSpec::white_van();  // the tip from the eyewitness
+  pc.channel_loss = 0.30;
+  counting::CountingProtocol protocol(engine, pc);
+  counting::Oracle oracle(engine, surveillance::Recognizer(pc.target));
+  protocol.set_oracle(&oracle);
+  protocol.designate_seeds(
+      protocol.choose_random_seeds(static_cast<std::size_t>(seeds)));
+  protocol.start();
+
+  std::printf("midtown grid: %zu checkpoints, %zu vehicles on the road\n",
+              net.num_intersections(), placed);
+  std::printf("search target: %s\n", pc.target.describe().c_str());
+
+  while (engine.now() < util::SimTime::from_minutes(240.0)) {
+    engine.step();
+    if (engine.step_count() % 50 == 0 && protocol.all_stable() &&
+        protocol.collection_complete() && protocol.quiescent()) {
+      break;
+    }
+  }
+  if (!protocol.collection_complete()) {
+    std::printf("collection did not converge: %s\n",
+                protocol.debug_collection_state().c_str());
+    return 1;
+  }
+
+  std::printf("\ncounting converged at t = %.1f min\n", engine.now().minutes());
+  std::printf("white vans inside the region (collected at the sinks): %lld\n",
+              static_cast<long long>(protocol.collected_total()));
+  const auto verdict = oracle.verify_total(protocol.live_total());
+  std::printf("ground truth check: %s (%s)\n", verdict.ok ? "PASS" : "FAIL",
+              verdict.detail.c_str());
+  std::printf("(%llu labeling retries over the lossy channel were compensated)\n",
+              static_cast<unsigned long long>(protocol.stats().label_handoff_failures));
+  return verdict.ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Protocol configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "surveillance/recognizer.hpp"
+
+namespace ivc::counting {
+
+struct ProtocolConfig {
+  // What to count ("all vehicles" or a specified type, e.g. white vans).
+  surveillance::TargetSpec target = surveillance::TargetSpec::all_vehicles();
+
+  // Channel loss probability for moving pickups (paper experiment: 0.30).
+  // Zero gives the lossless model of Alg. 1.
+  double channel_loss = 0.0;
+
+  // Alg. 3 lines 5-8: cooperative overtake detection and the ±1 counter
+  // adjustments. Must be enabled whenever the traffic model allows lane
+  // changes, or the counts are not exact (this is the paper's point).
+  bool overtake_adjustment = true;
+
+  // Run the information collection (Alg. 2 / Alg. 4) on top of counting.
+  bool collection = true;
+
+  // Alg. 5: treat gateway flows as always-active interaction counting.
+  // Enabled automatically when the network has gateways.
+  bool open_system = false;
+
+  // Messages stuck in a checkpoint outbox longer than this (seconds) become
+  // eligible for patrol pickup (the paper's circuitous-route fallback).
+  double patrol_pickup_age = 120.0;
+
+  // Messages waiting longer than this (seconds) may be handed to a vehicle
+  // departing in *any* direction; the next checkpoint re-routes them. This
+  // keeps collection moving through sparse traffic where no vehicle happens
+  // to head toward the destination for a long time.
+  double stale_forward_age = 25.0;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace ivc::counting

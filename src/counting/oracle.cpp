@@ -1,0 +1,71 @@
+#include "counting/oracle.hpp"
+
+#include "util/string_util.hpp"
+
+namespace ivc::counting {
+
+void Oracle::on_counted(traffic::VehicleId veh, roadnet::NodeId /*node*/,
+                        util::SimTime /*t*/) {
+  if (veh.value() >= counted_times_.size()) counted_times_.resize(veh.value() + 1, 0);
+  ++counted_times_[veh.value()];
+  ++count_events_;
+}
+
+void Oracle::on_adjustment(roadnet::NodeId /*node*/, std::int64_t delta) {
+  adjustment_sum_ += delta;
+}
+
+void Oracle::on_interaction_exit(traffic::VehicleId /*veh*/, roadnet::NodeId /*node*/) {
+  ++exit_events_;
+}
+
+std::int64_t Oracle::true_population() const {
+  std::int64_t n = 0;
+  for (const auto& veh : engine_.vehicles()) {
+    if (!veh.alive || veh.is_patrol) continue;
+    if (!recognizer_.matches(veh.attrs)) continue;
+    if (engine_.network().segment(veh.edge).is_gateway()) continue;
+    ++n;
+  }
+  return n;
+}
+
+int Oracle::times_counted(traffic::VehicleId veh) const {
+  return veh.value() < counted_times_.size() ? counted_times_[veh.value()] : 0;
+}
+
+std::uint64_t Oracle::double_counted_vehicles() const {
+  std::uint64_t n = 0;
+  for (const auto times : counted_times_) {
+    if (times > 1) ++n;
+  }
+  return n;
+}
+
+Verdict Oracle::verify_exactly_once() const {
+  std::uint64_t missed = 0;
+  std::uint64_t doubled = 0;
+  for (const auto& veh : engine_.vehicles()) {
+    if (!veh.alive || veh.is_patrol || !recognizer_.matches(veh.attrs)) continue;
+    const int times = times_counted(veh.id);
+    if (times == 0) ++missed;
+    if (times > 1) ++doubled;
+  }
+  if (missed == 0 && doubled == 0) return {true, "every countable vehicle counted exactly once"};
+  return {false, util::format("miscounted=%llu double-counted=%llu",
+                              static_cast<unsigned long long>(missed),
+                              static_cast<unsigned long long>(doubled))};
+}
+
+Verdict Oracle::verify_total(std::int64_t protocol_total) const {
+  const std::int64_t truth = true_population();
+  if (protocol_total == truth) {
+    return {true, util::format("total exact: %lld", static_cast<long long>(truth))};
+  }
+  return {false, util::format("protocol=%lld truth=%lld (delta %lld)",
+                              static_cast<long long>(protocol_total),
+                              static_cast<long long>(truth),
+                              static_cast<long long>(protocol_total - truth))};
+}
+
+}  // namespace ivc::counting

@@ -1,0 +1,62 @@
+#include "counting/patrol.hpp"
+
+#include "util/assert.hpp"
+
+namespace ivc::counting {
+
+PatrolFleet::PatrolFleet(traffic::SimEngine& engine, roadnet::PatrolRoute route)
+    : engine_(engine), route_(std::move(route)) {
+  IVC_ASSERT_MSG(roadnet::validate_patrol_route(engine_.network(), route_),
+                 "invalid patrol route");
+}
+
+std::size_t PatrolFleet::deploy(std::size_t cars) {
+  IVC_ASSERT(cars >= 1);
+  const auto& net = engine_.network();
+
+  // Cumulative arc length along the cycle to space the cars evenly
+  // (the paper: "Every police car will evenly be distributed and drive
+  // along such a cycle").
+  std::vector<double> cumulative(route_.edges.size() + 1, 0.0);
+  for (std::size_t i = 0; i < route_.edges.size(); ++i) {
+    cumulative[i + 1] = cumulative[i] + net.segment(route_.edges[i]).length;
+  }
+  const double total = cumulative.back();
+
+  traffic::ExteriorAttributes attrs;
+  attrs.color = traffic::Color::Black;
+  attrs.type = traffic::BodyType::PoliceCar;
+  attrs.brand = traffic::Brand::Apex;
+
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < cars; ++i) {
+    const double offset = total * static_cast<double>(i) / static_cast<double>(cars);
+    // Locate the edge containing this offset.
+    std::size_t idx = 0;
+    while (idx + 1 < cumulative.size() && cumulative[idx + 1] <= offset) ++idx;
+    const auto edge = route_.edges[idx];
+    double pos = offset - cumulative[idx];
+
+    traffic::Route drive;
+    drive.edges = route_.edges;
+    drive.cyclic = true;
+    drive.next = (idx + 1) % route_.edges.size();
+
+    // Nudge forward if the exact spot is occupied.
+    const double seg_len = net.segment(edge).length;
+    bool spawned = false;
+    for (int attempt = 0; attempt < 8 && !spawned; ++attempt) {
+      const double try_pos = std::min(pos + attempt * 7.0, seg_len * 0.95);
+      const auto id = engine_.spawn_at(edge, 0, try_pos, attrs, drive, 1.0,
+                                       /*is_patrol=*/true);
+      if (id.valid()) {
+        vehicles_.push_back(id);
+        spawned = true;
+        ++placed;
+      }
+    }
+  }
+  return placed;
+}
+
+}  // namespace ivc::counting

@@ -1,0 +1,38 @@
+// Police patrol fleet (paper Sec. IV-B, Theorems 3 & 4).
+//
+// Patrol cars drive the edge-covering cycle forever. They are never counted
+// (recognized as police), their communication never fails, and they serve
+// two protocol roles handled uniformly by CountingProtocol:
+//   * marker carrier of last resort — departing an active checkpoint over a
+//    segment whose label is still pending, the patrol car takes the label,
+//    breaking orphan-segment deadlocks;
+//   * message ferry — mail stranded in a checkpoint outbox longer than the
+//    patrol pickup age rides the cycle to its destination (one-way
+//    predecessor reports in Alg. 4).
+#pragma once
+
+#include <vector>
+
+#include "roadnet/patrol_planner.hpp"
+#include "traffic/sim_engine.hpp"
+
+namespace ivc::counting {
+
+class PatrolFleet {
+ public:
+  PatrolFleet(traffic::SimEngine& engine, roadnet::PatrolRoute route);
+
+  // Spawns `cars` patrol vehicles spaced evenly along the cycle. Returns
+  // the number actually placed (a spot may be occupied at extreme density).
+  std::size_t deploy(std::size_t cars);
+
+  [[nodiscard]] const std::vector<traffic::VehicleId>& vehicles() const { return vehicles_; }
+  [[nodiscard]] const roadnet::PatrolRoute& route() const { return route_; }
+
+ private:
+  traffic::SimEngine& engine_;
+  roadnet::PatrolRoute route_;
+  std::vector<traffic::VehicleId> vehicles_;
+};
+
+}  // namespace ivc::counting

@@ -1,0 +1,150 @@
+// The distributed counting protocol (paper Algorithms 1-5), system view.
+//
+// CountingProtocol subscribes to the traffic engine and drives every
+// checkpoint's state machine from observable events only:
+//
+//   on_transit  — the camera + V2I exchange window of a vehicle crossing an
+//                 intersection. In order: (A) deposit carried messages,
+//                 (B) marker arrival (activate / stop, Alg. 1 ph. 3-4, and
+//                 apply the carrier's overtake tally, Alg. 3), (C) phase-5
+//                 counting incl. open-system interaction (Alg. 5),
+//                 (D) interaction exit (-1 for counted leavers),
+//                 (E) marker handoff to the departing vehicle (Alg. 1 ph. 2,
+//                 lossy with -1 compensation per Alg. 3), (F) message pickup
+//                 for the store-carry-forward transport (Alg. 2/4).
+//   on_overtake — cooperative V2V relative-position reports involving a
+//                 marker carrier; accumulates the ±1 tally applied at the
+//                 carrier's arrival (Alg. 3 lines 5-8). We apply the tally
+//                 for *any* countable vehicle crossing the marker, which
+//                 extends the paper's two rules to re-passes and to
+//                 lossy-escapee interactions (DESIGN.md §2).
+//
+// The same class implements the collection (Alg. 2/4): counter reports and
+// tree-acks are routed checkpoint-to-checkpoint by handing them to vehicles
+// driving toward the next hop; patrol cars ferry messages that traffic has
+// left stranded (one-way predecessors, orphan segments).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "counting/checkpoint.hpp"
+#include "counting/config.hpp"
+#include "counting/oracle.hpp"
+#include "surveillance/recognizer.hpp"
+#include "traffic/sim_engine.hpp"
+#include "util/rng.hpp"
+#include "v2x/channel.hpp"
+#include "v2x/obu.hpp"
+
+namespace ivc::counting {
+
+struct ProtocolStats {
+  std::uint64_t count_events = 0;
+  std::uint64_t labels_issued = 0;
+  std::uint64_t label_handoff_failures = 0;
+  std::uint64_t activations_by_label = 0;
+  std::uint64_t markers_consumed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t message_pickup_failures = 0;
+  std::uint64_t patrol_relays = 0;
+  std::uint64_t overtake_events = 0;
+  std::uint64_t interaction_entries = 0;
+  std::uint64_t interaction_exits = 0;
+};
+
+class CountingProtocol final : public traffic::SimObserver {
+ public:
+  CountingProtocol(traffic::SimEngine& engine, ProtocolConfig config);
+
+  // ---- setup ---------------------------------------------------------------
+  // Seeds are both counting initiators and data sinks (paper Sec. III-C).
+  void designate_seeds(std::vector<roadnet::NodeId> seeds);
+  // Uniformly random distinct seeds, as in the paper's experiments.
+  std::vector<roadnet::NodeId> choose_random_seeds(std::size_t count);
+  void set_oracle(Oracle* oracle) { oracle_ = oracle; }
+  // Activate the seeds at the current simulation time.
+  void start();
+
+  // ---- SimObserver ----------------------------------------------------------
+  void on_transit(const traffic::TransitEvent& event) override;
+  void on_overtake(const traffic::OvertakeEvent& event) override;
+  void on_despawn(const traffic::DespawnEvent& event) override;
+
+  // ---- progress & results ----------------------------------------------------
+  [[nodiscard]] const Checkpoint& checkpoint(roadnet::NodeId node) const;
+  [[nodiscard]] const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
+  [[nodiscard]] const std::vector<roadnet::NodeId>& seeds() const { return seeds_; }
+  [[nodiscard]] bool started() const { return started_; }
+
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] bool all_active() const;
+  // Every checkpoint active and no non-interaction direction still
+  // counting: the closed-system convergence of Alg. 3, equally the
+  // open-system "complete status" of Alg. 5 (Corollary 1).
+  [[nodiscard]] bool all_stable() const;
+  // Collection (Alg. 2/4) finished: every seed holds its tree total.
+  [[nodiscard]] bool collection_complete() const;
+  // No marker in flight or pending: together with all_stable this is the
+  // point where every compensation has landed and totals are exact.
+  [[nodiscard]] bool quiescent() const;
+
+  // Live global view: sum of all local views (the distributed result).
+  [[nodiscard]] std::int64_t live_total() const;
+  // Sum of the seed tree totals (requires collection_complete()).
+  [[nodiscard]] std::int64_t collected_total() const;
+
+  [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
+  [[nodiscard]] const ProtocolConfig& config() const { return config_; }
+  [[nodiscard]] v2x::ObuRegistry& obus() { return obus_; }
+  [[nodiscard]] const v2x::Channel& channel() const { return channel_; }
+  [[nodiscard]] const surveillance::Recognizer& recognizer() const { return recognizer_; }
+  [[nodiscard]] std::size_t outbox_backlog() const;
+  // Diagnostic summary of why collection has not completed (tests/benches).
+  [[nodiscard]] std::string debug_collection_state() const;
+
+ private:
+  struct StampedMessage {
+    v2x::Message msg;
+    util::SimTime since;
+  };
+
+  void consume_or_forward(v2x::Message msg, roadnet::NodeId here, util::SimTime now);
+  void consume(Checkpoint& cp, const v2x::Message& msg, util::SimTime now);
+  void send_message(roadnet::NodeId source, roadnet::NodeId dest, v2x::Payload payload,
+                    util::SimTime now);
+  void maybe_send_report(Checkpoint& cp, util::SimTime now);
+  // Hop distance from every node to `dest` (memoized reverse BFS). A
+  // departing vehicle is an eligible carrier for a message when its next
+  // intersection is strictly closer to the destination — any shortest-ish
+  // route works, which multiplies pickup opportunities over a single
+  // next-hop edge.
+  [[nodiscard]] const std::vector<std::uint16_t>& hops_to(roadnet::NodeId dest);
+  [[nodiscard]] bool carries_toward(roadnet::NodeId from, roadnet::NodeId via,
+                                    roadnet::NodeId dest);
+
+  traffic::SimEngine& engine_;
+  ProtocolConfig config_;
+  surveillance::Recognizer recognizer_;
+  v2x::Channel channel_;
+  v2x::ObuRegistry obus_;
+  util::Rng rng_;
+  Oracle* oracle_ = nullptr;
+
+  std::vector<Checkpoint> checkpoints_;           // by NodeId
+  std::vector<std::deque<StampedMessage>> outbox_;  // by NodeId
+  // The marker currently traveling each edge (invalid when none). At most
+  // one marker exists per directed edge per counting round.
+  std::vector<traffic::VehicleId> marker_on_edge_;
+  std::vector<roadnet::NodeId> seeds_;
+  bool started_ = false;
+
+  std::unordered_map<std::uint32_t, std::vector<std::uint16_t>> next_hop_cache_;
+  ProtocolStats stats_;
+};
+
+}  // namespace ivc::counting

@@ -1,0 +1,82 @@
+#include "experiment/figure.hpp"
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace ivc::experiment {
+
+namespace {
+
+struct Panel {
+  double max_min;
+  double min_min;
+  double avg_min;
+};
+
+Panel panel_of(const SweepCell& cell, FigureKind kind) {
+  if (kind == FigureKind::Constitution) {
+    return {cell.constitution_max_min, cell.constitution_min_min, cell.constitution_avg_min};
+  }
+  return {cell.collection_max_min, cell.collection_min_min, cell.collection_avg_min};
+}
+
+}  // namespace
+
+namespace {
+bool converged_for(const SweepCell& cell, FigureKind kind) {
+  return kind == FigureKind::Constitution ? cell.constitution_converged
+                                          : cell.collection_converged;
+}
+}  // namespace
+
+void print_figure_table(std::ostream& out, const std::string& title,
+                        const std::vector<SweepCell>& cells, FigureKind kind) {
+  out << "== " << title << " ==\n";
+  util::TextTable table(
+      {"volume%", "seeds", "max(min)", "min(min)", "avg(min)", "converged", "exact"});
+  for (const auto& cell : cells) {
+    const Panel p = panel_of(cell, kind);
+    table.add_row({util::format("%.0f", cell.volume_pct), std::to_string(cell.num_seeds),
+                   util::format("%.2f", p.max_min), util::format("%.2f", p.min_min),
+                   util::format("%.2f", p.avg_min),
+                   converged_for(cell, kind) ? "yes" : "NO",
+                   cell.all_exact ? "yes" : "NO"});
+  }
+  table.print(out);
+}
+
+void print_figure_csv(std::ostream& out, const std::vector<SweepCell>& cells,
+                      FigureKind kind) {
+  util::CsvWriter csv(out);
+  csv.header({"volume_pct", "seeds", "max_min", "min_min", "avg_min", "converged", "exact"});
+  for (const auto& cell : cells) {
+    const Panel p = panel_of(cell, kind);
+    csv.row({util::format("%.0f", cell.volume_pct), std::to_string(cell.num_seeds),
+             util::format("%.4f", p.max_min), util::format("%.4f", p.min_min),
+             util::format("%.4f", p.avg_min), converged_for(cell, kind) ? "1" : "0",
+             cell.all_exact ? "1" : "0"});
+  }
+}
+
+SpeedupSummary summarize_speedup(const std::vector<SweepCell>& before,
+                                 const std::vector<SweepCell>& after, FigureKind kind) {
+  IVC_ASSERT(before.size() == after.size());
+  util::RunningStats improvement;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double b = panel_of(before[i], kind).avg_min;
+    const double a = panel_of(after[i], kind).avg_min;
+    if (b <= 0.0) continue;
+    improvement.add((b - a) / b * 100.0);
+  }
+  SpeedupSummary summary;
+  if (!improvement.empty()) {
+    summary.min_improvement_pct = improvement.min();
+    summary.max_improvement_pct = improvement.max();
+    summary.avg_improvement_pct = improvement.mean();
+  }
+  return summary;
+}
+
+}  // namespace ivc::experiment

@@ -1,0 +1,39 @@
+// Figure-table formatting: prints the rows/series the paper's surface plots
+// are drawn from, one row per (volume, seeds) grid point.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "experiment/sweep.hpp"
+
+namespace ivc::experiment {
+
+enum class FigureKind {
+  Constitution,  // Fig. 2 / Fig. 4: per-checkpoint stabilization time
+  Collection,    // Fig. 3 / Fig. 5: seeds' global-view completion time
+};
+
+// Human-readable aligned table with max/min/avg columns (the paper's (a),
+// (b), (c) panels) plus correctness columns.
+void print_figure_table(std::ostream& out, const std::string& title,
+                        const std::vector<SweepCell>& cells, FigureKind kind);
+
+// Machine-readable CSV of the same data.
+void print_figure_csv(std::ostream& out, const std::vector<SweepCell>& cells,
+                      FigureKind kind);
+
+// Relative change (%) between two sweeps' average panels, e.g. the paper's
+// "34-40% quicker after the speed limit is lifted" comparisons. Cells must
+// be the same grid. Returns {min%, max%} of improvement.
+struct SpeedupSummary {
+  double min_improvement_pct = 0.0;
+  double max_improvement_pct = 0.0;
+  double avg_improvement_pct = 0.0;
+};
+[[nodiscard]] SpeedupSummary summarize_speedup(const std::vector<SweepCell>& before,
+                                               const std::vector<SweepCell>& after,
+                                               FigureKind kind);
+
+}  // namespace ivc::experiment

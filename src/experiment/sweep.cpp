@@ -1,0 +1,79 @@
+#include "experiment/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ivc::experiment {
+
+std::vector<SweepCell> run_sweep(const SweepConfig& config, const ProgressFn& progress) {
+  IVC_ASSERT(config.replicas >= 1);
+  struct Job {
+    std::size_t cell;
+    double volume;
+    int seeds;
+    int replica;
+  };
+  std::vector<Job> jobs;
+  std::vector<SweepCell> cells;
+  for (const double volume : config.volumes_pct) {
+    for (const int seeds : config.seed_counts) {
+      SweepCell cell;
+      cell.volume_pct = volume;
+      cell.num_seeds = seeds;
+      for (int r = 0; r < config.replicas; ++r) {
+        jobs.push_back({cells.size(), volume, seeds, r});
+      }
+      cells.push_back(cell);
+    }
+  }
+
+  std::mutex merge_mutex;
+  std::atomic<std::size_t> done{0};
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    ScenarioConfig scenario = config.base;
+    scenario.volume_pct = job.volume;
+    scenario.num_seeds = job.seeds;
+    // Replica seeds are derived from the base seed and the grid point, so
+    // every cell is independent and the whole sweep is reproducible
+    // regardless of thread scheduling.
+    scenario.seed = util::derive_seed(
+        config.base.seed, (static_cast<std::uint64_t>(job.cell) << 8) |
+                              static_cast<std::uint64_t>(job.replica));
+    const RunMetrics metrics = run_scenario(scenario);
+
+    {
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      SweepCell& cell = cells[job.cell];
+      const auto n = static_cast<double>(cell.replicas + 1);
+      const auto mix = [&](double& acc, double value) { acc += (value - acc) / n; };
+      mix(cell.constitution_max_min, metrics.constitution_max_min);
+      mix(cell.constitution_min_min, metrics.constitution_min_min);
+      mix(cell.constitution_avg_min, metrics.constitution_avg_min);
+      mix(cell.collection_max_min, metrics.collection_max_min);
+      mix(cell.collection_min_min, metrics.collection_min_min);
+      mix(cell.collection_avg_min, metrics.collection_avg_min);
+      mix(cell.time_all_active_min, metrics.time_all_active_min);
+      mix(cell.wall_seconds, metrics.wall_seconds);
+      cell.total_truth += metrics.truth;
+      cell.total_protocol += metrics.protocol_total;
+      cell.constitution_converged =
+          cell.constitution_converged && metrics.constitution_converged;
+      cell.collection_converged =
+          cell.collection_converged &&
+          (!config.base.protocol.collection || metrics.collection_converged);
+      cell.all_exact = cell.all_exact && metrics.total_exact;
+      ++cell.replicas;
+    }
+    const std::size_t completed = done.fetch_add(1) + 1;
+    if (progress) progress(completed, jobs.size());
+  });
+  return cells;
+}
+
+}  // namespace ivc::experiment

@@ -1,0 +1,40 @@
+#include "geom/polyline.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ivc::geom {
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {
+  IVC_ASSERT_MSG(points_.size() >= 2, "polyline needs at least two points");
+  cumulative_.resize(points_.size());
+  cumulative_[0] = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    cumulative_[i] = cumulative_[i - 1] + distance(points_[i - 1], points_[i]);
+  }
+}
+
+Vec2 Polyline::at(double s) const {
+  IVC_ASSERT(!empty());
+  if (s <= 0.0) return points_.front();
+  if (s >= length()) return points_.back();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  const double seg_start = cumulative_[idx - 1];
+  const double seg_len = cumulative_[idx] - seg_start;
+  const double t = seg_len > 0.0 ? (s - seg_start) / seg_len : 0.0;
+  return lerp(points_[idx - 1], points_[idx], t);
+}
+
+Vec2 Polyline::tangent_at(double s) const {
+  IVC_ASSERT(!empty());
+  s = std::clamp(s, 0.0, length());
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  if (it == cumulative_.end()) --it;
+  auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx == 0) idx = 1;
+  return (points_[idx] - points_[idx - 1]).normalized();
+}
+
+}  // namespace ivc::geom

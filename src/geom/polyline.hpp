@@ -1,0 +1,33 @@
+// Polyline with arc-length parameterization.
+//
+// Road segment centerlines are polylines; vehicles are positioned by arc
+// length from the segment start, and the polyline maps that to world
+// coordinates (for radio range and rendering in examples).
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace ivc::geom {
+
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Vec2> points);
+
+  [[nodiscard]] const std::vector<Vec2>& points() const { return points_; }
+  [[nodiscard]] double length() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+  [[nodiscard]] bool empty() const { return points_.size() < 2; }
+
+  // World position at arc length s (clamped to [0, length]).
+  [[nodiscard]] Vec2 at(double s) const;
+  // Unit tangent at arc length s.
+  [[nodiscard]] Vec2 tangent_at(double s) const;
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length at points_[i]
+};
+
+}  // namespace ivc::geom

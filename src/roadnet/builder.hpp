@@ -1,0 +1,55 @@
+// Incremental network construction with validation.
+//
+// The builder owns the only mutable view of a RoadNetwork; `build()` runs
+// structural validation (positive lengths, paired reverse edges, adjacency
+// consistency, optional strong connectivity) and returns an immutable
+// network. All downstream layers treat the network as read-only, which is
+// what makes the parallel benchmark sweeps trivially safe.
+#pragma once
+
+#include <string>
+
+#include "roadnet/road_network.hpp"
+
+namespace ivc::roadnet {
+
+struct RoadSpec {
+  int lanes = 1;
+  double speed_limit = 6.7;  // m/s (~15 mph) unless overridden
+  // Lanes/speed for the reverse direction of a two-way road; negative means
+  // "same as forward".
+  int reverse_lanes = -1;
+};
+
+class NetworkBuilder {
+ public:
+  NodeId add_intersection(geom::Vec2 position,
+                          IntersectionKind kind = IntersectionKind::Standard,
+                          std::string name = {});
+
+  // One directed segment u -> v. Length defaults to the euclidean distance.
+  EdgeId add_one_way(NodeId u, NodeId v, const RoadSpec& spec = {}, double length = -1.0);
+
+  // A two-way road: adds u->v and v->u and pairs them as reverses.
+  // Returns the forward (u->v) edge.
+  EdgeId add_two_way(NodeId u, NodeId v, const RoadSpec& spec = {}, double length = -1.0);
+
+  // Border interaction flows (paper Def. 2). Length is the stretch of
+  // approach road outside the region that the simulator models so vehicles
+  // enter with realistic headways.
+  EdgeId add_inbound_gateway(NodeId node, const RoadSpec& spec = {}, double length = 150.0);
+  EdgeId add_outbound_gateway(NodeId node, const RoadSpec& spec = {}, double length = 150.0);
+
+  // Validates and returns the network. If `require_strong_connectivity` the
+  // interior graph must be one SCC (needed by routing-as-roaming and by the
+  // patrol cycle of Theorem 4).
+  [[nodiscard]] RoadNetwork build(bool require_strong_connectivity = true);
+
+ private:
+  EdgeId add_segment(NodeId from, NodeId to, int lanes, double speed, double length);
+
+  RoadNetwork net_;
+  bool built_ = false;
+};
+
+}  // namespace ivc::roadnet

@@ -1,0 +1,184 @@
+#include "roadnet/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace ivc::roadnet {
+
+std::vector<bool> reachable_from(const RoadNetwork& net, NodeId start) {
+  std::vector<bool> seen(net.num_intersections(), false);
+  std::vector<NodeId> stack{start};
+  seen[start.value()] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : net.intersection(u).out_edges) {
+      const NodeId v = net.segment(e).to;
+      if (!seen[v.value()]) {
+        seen[v.value()] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<int> strongly_connected_components(const RoadNetwork& net, int* num_components) {
+  const std::size_t n = net.num_intersections();
+  constexpr int kUnvisited = -1;
+  std::vector<int> index(n, kUnvisited);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> component(n, kUnvisited);
+  std::vector<std::uint32_t> scc_stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  // Iterative Tarjan: each DFS frame tracks which out-edge to visit next.
+  struct Frame {
+    std::uint32_t node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      // Note: take copies, not references — pushing a new frame below
+      // reallocates `dfs` and would invalidate them.
+      const std::uint32_t node = dfs.back().node;
+      const auto& out = net.intersection(NodeId{node}).out_edges;
+      if (dfs.back().edge_pos < out.size()) {
+        const NodeId w = net.segment(out[dfs.back().edge_pos]).to;
+        ++dfs.back().edge_pos;
+        const auto wv = w.value();
+        if (index[wv] == kUnvisited) {
+          index[wv] = lowlink[wv] = next_index++;
+          scc_stack.push_back(wv);
+          on_stack[wv] = true;
+          dfs.push_back({wv, 0});
+        } else if (on_stack[wv]) {
+          lowlink[node] = std::min(lowlink[node], index[wv]);
+        }
+        continue;
+      }
+      // Frame finished: pop and propagate lowlink to parent.
+      const std::uint32_t v = node;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] = std::min(lowlink[dfs.back().node], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          const std::uint32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          component[w] = next_component;
+          if (w == v) break;
+        }
+        ++next_component;
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+bool is_strongly_connected(const RoadNetwork& net) {
+  if (net.num_intersections() == 0) return true;
+  int count = 0;
+  (void)strongly_connected_components(net, &count);
+  return count == 1;
+}
+
+namespace {
+
+double edge_cost(const RoadNetwork& net, EdgeId e, EdgeWeight weight) {
+  switch (weight) {
+    case EdgeWeight::Length: return net.segment(e).length;
+    case EdgeWeight::FreeFlowTime: return net.free_flow_time(e);
+  }
+  IVC_UNREACHABLE("bad EdgeWeight");
+}
+
+struct QueueEntry {
+  double dist;
+  std::uint32_t node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    // Tie-break on node id for deterministic pop order.
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace
+
+std::vector<double> shortest_path_distances(const RoadNetwork& net, NodeId source,
+                                            EdgeWeight weight) {
+  std::vector<double> dist(net.num_intersections(), kUnreachable);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  dist[source.value()] = 0.0;
+  heap.push({0.0, source.value()});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (const EdgeId e : net.intersection(NodeId{u}).out_edges) {
+      const auto v = net.segment(e).to.value();
+      const double nd = d + edge_cost(net, e, weight);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+PathResult shortest_path(const RoadNetwork& net, NodeId from, NodeId to, EdgeWeight weight) {
+  PathResult result;
+  if (from == to) {
+    result.found = true;
+    return result;
+  }
+  const std::size_t n = net.num_intersections();
+  std::vector<double> dist(n, kUnreachable);
+  std::vector<EdgeId> parent_edge(n);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  dist[from.value()] = 0.0;
+  heap.push({0.0, from.value()});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (NodeId{u} == to) break;
+    for (const EdgeId e : net.intersection(NodeId{u}).out_edges) {
+      const auto v = net.segment(e).to.value();
+      const double nd = d + edge_cost(net, e, weight);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent_edge[v] = e;
+        heap.push({nd, v});
+      }
+    }
+  }
+  if (dist[to.value()] == kUnreachable) return result;
+  result.found = true;
+  result.cost = dist[to.value()];
+  for (NodeId v = to; v != from;) {
+    const EdgeId e = parent_edge[v.value()];
+    result.edges.push_back(e);
+    v = net.segment(e).from;
+  }
+  std::reverse(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+}  // namespace ivc::roadnet

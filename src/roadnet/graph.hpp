@@ -1,0 +1,50 @@
+// Graph algorithms over the interior road network.
+//
+// Used by: routing (Dijkstra), network validation (strong connectivity via
+// Tarjan SCC — required for Theorem 4's patrol cycle to exist), and the
+// patrol planner (shortest-path stitching).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "roadnet/types.hpp"
+
+namespace ivc::roadnet {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+enum class EdgeWeight {
+  Length,        // meters
+  FreeFlowTime,  // seconds at the speed limit
+};
+
+// Nodes reachable from start via interior edges (BFS), as a bitmap indexed
+// by NodeId::value().
+[[nodiscard]] std::vector<bool> reachable_from(const RoadNetwork& net, NodeId start);
+
+// Strongly connected components of the interior graph (iterative Tarjan).
+// Returns component index per node; components are numbered in reverse
+// topological order (as Tarjan emits them).
+[[nodiscard]] std::vector<int> strongly_connected_components(const RoadNetwork& net,
+                                                             int* num_components = nullptr);
+
+[[nodiscard]] bool is_strongly_connected(const RoadNetwork& net);
+
+// Single-source shortest path distances over interior edges.
+[[nodiscard]] std::vector<double> shortest_path_distances(const RoadNetwork& net, NodeId source,
+                                                          EdgeWeight weight);
+
+// Shortest path as an edge sequence from `from` to `to`; empty if from == to,
+// or if unreachable (check with `found`).
+struct PathResult {
+  bool found = false;
+  std::vector<EdgeId> edges;
+  double cost = 0.0;
+};
+
+[[nodiscard]] PathResult shortest_path(const RoadNetwork& net, NodeId from, NodeId to,
+                                       EdgeWeight weight);
+
+}  // namespace ivc::roadnet

@@ -1,0 +1,169 @@
+#include "roadnet/manhattan.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "roadnet/builder.hpp"
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace ivc::roadnet {
+
+namespace {
+
+// Manhattan street naming for readable diagnostics: rows map to numbered
+// streets starting at 23rd (Madison Square Park), columns to avenues.
+std::string node_name(int row, int col) {
+  return util::format("%dth St & Av %d", 23 + row, col + 1);
+}
+
+}  // namespace
+
+RoadNetwork make_manhattan_grid(const ManhattanConfig& config) {
+  IVC_ASSERT(config.streets >= 2 && config.avenues >= 2);
+  IVC_ASSERT(config.scale > 0.0);
+  NetworkBuilder builder;
+
+  const int rows = config.streets;
+  const int cols = config.avenues;
+  const double sx = config.avenue_spacing * config.scale;
+  const double sy = config.street_spacing * config.scale;
+
+  std::vector<NodeId> nodes(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  const auto at = [&](int r, int c) -> NodeId& {
+    return nodes[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+                 static_cast<std::size_t>(c)];
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      IntersectionKind kind = IntersectionKind::Standard;
+      if (config.with_roundabout && r == rows - 1 && c == 0) {
+        kind = IntersectionKind::Roundabout;  // "Columbus Circle" at the NW corner
+      }
+      at(r, c) = builder.add_intersection(
+          {static_cast<double>(c) * sx, static_cast<double>(r) * sy}, kind, node_name(r, c));
+    }
+  }
+
+  RoadSpec street_spec;
+  street_spec.lanes = config.street_lanes;
+  street_spec.speed_limit = config.speed_limit;
+  RoadSpec avenue_spec;
+  avenue_spec.lanes = config.avenue_lanes;
+  avenue_spec.speed_limit = config.speed_limit;
+
+  const auto is_perimeter_row = [&](int r) { return r == 0 || r == rows - 1; };
+  const auto is_perimeter_col = [&](int c) { return c == 0 || c == cols - 1; };
+  const auto row_two_way = [&](int r) {
+    return (config.two_way_perimeter && is_perimeter_row(r)) ||
+           (config.two_way_every > 0 && r % config.two_way_every == 0);
+  };
+  const auto col_two_way = [&](int c) {
+    return (config.two_way_perimeter && is_perimeter_col(c)) ||
+           (config.two_way_every > 0 && c % config.two_way_every == 0);
+  };
+
+  // Streets: east-west. Odd rows run west (like real Manhattan odd streets),
+  // even rows run east; selected rows are two-way.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      if (row_two_way(r)) {
+        builder.add_two_way(at(r, c), at(r, c + 1), street_spec);
+      } else if (r % 2 == 0) {
+        builder.add_one_way(at(r, c), at(r, c + 1), street_spec);  // eastbound
+      } else {
+        builder.add_one_way(at(r, c + 1), at(r, c), street_spec);  // westbound
+      }
+    }
+  }
+  // Avenues: north-south. Odd columns run north, even run south.
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r + 1 < rows; ++r) {
+      if (col_two_way(c)) {
+        builder.add_two_way(at(r, c), at(r + 1, c), avenue_spec);
+      } else if (c % 2 == 1) {
+        builder.add_one_way(at(r, c), at(r + 1, c), avenue_spec);  // northbound
+      } else {
+        builder.add_one_way(at(r + 1, c), at(r, c), avenue_spec);  // southbound
+      }
+    }
+  }
+
+  // Open-system gateways on the perimeter (paper Def. 2 "interaction").
+  if (config.gateway_stride > 0) {
+    RoadSpec gateway_spec;
+    gateway_spec.lanes = 1;
+    gateway_spec.speed_limit = config.speed_limit;
+    std::vector<NodeId> perimeter;
+    for (int c = 0; c < cols; ++c) perimeter.push_back(at(0, c));
+    for (int r = 1; r < rows; ++r) perimeter.push_back(at(r, cols - 1));
+    for (int c = cols - 2; c >= 0; --c) perimeter.push_back(at(rows - 1, c));
+    for (int r = rows - 2; r >= 1; --r) perimeter.push_back(at(r, 0));
+    for (std::size_t i = 0; i < perimeter.size();
+         i += static_cast<std::size_t>(config.gateway_stride)) {
+      builder.add_inbound_gateway(perimeter[i], gateway_spec);
+      builder.add_outbound_gateway(perimeter[i], gateway_spec);
+    }
+  }
+
+  return builder.build();
+}
+
+RoadNetwork make_triangle() {
+  NetworkBuilder builder;
+  RoadSpec spec;
+  spec.lanes = 1;
+  spec.speed_limit = 6.7056;
+  const NodeId n1 = builder.add_intersection({0.0, 173.2}, IntersectionKind::Standard, "1");
+  const NodeId n2 = builder.add_intersection({-100.0, 0.0}, IntersectionKind::Standard, "2");
+  const NodeId n3 = builder.add_intersection({100.0, 0.0}, IntersectionKind::Standard, "3");
+  builder.add_two_way(n1, n2, spec);
+  builder.add_two_way(n1, n3, spec);
+  builder.add_two_way(n2, n3, spec);
+  return builder.build();
+}
+
+RoadNetwork make_ring(int n, double segment_length, double speed_limit) {
+  IVC_ASSERT(n >= 3);
+  NetworkBuilder builder;
+  RoadSpec spec;
+  spec.lanes = 1;
+  spec.speed_limit = speed_limit;
+  const double radius = segment_length * static_cast<double>(n) / (2.0 * 3.14159265358979);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(i) / n;
+    nodes.push_back(builder.add_intersection(
+        {radius * std::cos(angle), radius * std::sin(angle)}, IntersectionKind::Standard,
+        util::format("r%d", i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    builder.add_two_way(nodes[static_cast<std::size_t>(i)],
+                        nodes[static_cast<std::size_t>((i + 1) % n)], spec, segment_length);
+  }
+  return builder.build();
+}
+
+RoadNetwork make_one_way_ring(int n, double segment_length, double speed_limit) {
+  IVC_ASSERT(n >= 3);
+  NetworkBuilder builder;
+  RoadSpec spec;
+  spec.lanes = 1;
+  spec.speed_limit = speed_limit;
+  const double radius = segment_length * static_cast<double>(n) / (2.0 * 3.14159265358979);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(i) / n;
+    nodes.push_back(builder.add_intersection(
+        {radius * std::cos(angle), radius * std::sin(angle)}, IntersectionKind::Standard,
+        util::format("ow%d", i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    builder.add_one_way(nodes[static_cast<std::size_t>(i)],
+                        nodes[static_cast<std::size_t>((i + 1) % n)], spec, segment_length);
+  }
+  return builder.build();
+}
+
+}  // namespace ivc::roadnet

@@ -1,0 +1,65 @@
+// Parametric Manhattan-midtown-like grid generator.
+//
+// Substitute for the paper's OpenStreetMap extract of midtown Manhattan
+// (Central Park down to Madison Square Park). The generator reproduces the
+// structural features the counting protocol is sensitive to:
+//   * grid topology with short avenue blocks (~80 m) and long street blocks
+//     (~274 m), matching real Manhattan block sizes;
+//   * alternating one-way streets and avenues with periodic two-way majors
+//     and a two-way perimeter (keeps the interior strongly connected, which
+//     real midtown is);
+//   * multi-lane avenues (overtaking) and a roundabout (Columbus Circle);
+//   * optionally open borders: gateway in/out flows on perimeter
+//     intersections (paper Def. 2 "interaction").
+//
+// Defaults give a region of ~2.9 km x ~1.9 km, the same diameter class as
+// the paper's test region, so convergence times land in the reported
+// 9-50 minute band at 15 mph.
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_network.hpp"
+
+namespace ivc::roadnet {
+
+struct ManhattanConfig {
+  int streets = 20;   // east-west rows (paper region: ~36 between 23rd & 59th)
+  int avenues = 7;    // north-south columns
+  double street_spacing = 80.0;    // m between adjacent streets (avenue block)
+  double avenue_spacing = 274.0;   // m between adjacent avenues (street block)
+  double speed_limit = 6.7056;     // m/s == 15 mph
+  int avenue_lanes = 3;
+  int street_lanes = 2;
+  // Every k-th street/avenue is two-way; others alternate one-way direction.
+  int two_way_every = 4;
+  bool two_way_perimeter = true;
+  // Place a roundabout at the northwest corner (Columbus-Circle-like).
+  bool with_roundabout = true;
+  // Open system: add gateway in+out pairs on every `gateway_stride`-th
+  // perimeter intersection. 0 = closed system.
+  int gateway_stride = 0;
+
+  // Scale both spacings by `scale` (paper Fig. 4(c)/5(c) pairs the 25 mph
+  // speedup with a denser-checkpoint, smaller region: area shrink of 64 %
+  // corresponds to scale = 0.6).
+  double scale = 1.0;
+};
+
+[[nodiscard]] RoadNetwork make_manhattan_grid(const ManhattanConfig& config);
+
+// Tiny fixture networks used across tests and the quickstart example.
+
+// The paper's Fig. 1 example: a triangle of three intersections joined by
+// two-way single-lane roads.
+[[nodiscard]] RoadNetwork make_triangle();
+
+// A two-way ring of n intersections (simplest closed system).
+[[nodiscard]] RoadNetwork make_ring(int n, double segment_length = 200.0,
+                                    double speed_limit = 6.7056);
+
+// A one-way ring (every segment one-way, tests Alg. 3/4 one-way handling).
+[[nodiscard]] RoadNetwork make_one_way_ring(int n, double segment_length = 200.0,
+                                            double speed_limit = 6.7056);
+
+}  // namespace ivc::roadnet

@@ -1,0 +1,133 @@
+#include "roadnet/patrol_planner.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "roadnet/graph.hpp"
+#include "util/assert.hpp"
+
+namespace ivc::roadnet {
+
+namespace {
+
+// Shortest path (by hop count — cheap and adequate for stitching) from
+// `from` to the nearest node satisfying `accept`; returns the edge list.
+std::vector<EdgeId> path_to_nearest(const RoadNetwork& net, NodeId from,
+                                    const std::vector<bool>& has_uncovered) {
+  const std::size_t n = net.num_intersections();
+  std::vector<EdgeId> parent(n);
+  std::vector<bool> seen(n, false);
+  std::queue<NodeId> queue;
+  queue.push(from);
+  seen[from.value()] = true;
+  NodeId goal = NodeId::invalid();
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    if (u != from && has_uncovered[u.value()]) {
+      goal = u;
+      break;
+    }
+    for (const EdgeId e : net.intersection(u).out_edges) {
+      const NodeId v = net.segment(e).to;
+      if (!seen[v.value()]) {
+        seen[v.value()] = true;
+        parent[v.value()] = e;
+        queue.push(v);
+      }
+    }
+  }
+  IVC_ASSERT_MSG(goal.valid(), "no reachable node with uncovered edges (graph not strongly connected?)");
+  std::vector<EdgeId> path;
+  for (NodeId v = goal; v != from;) {
+    const EdgeId e = parent[v.value()];
+    path.push_back(e);
+    v = net.segment(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+PatrolRoute plan_patrol_route(const RoadNetwork& net, NodeId start) {
+  IVC_ASSERT(start.valid());
+  PatrolRoute route;
+  route.start = start;
+
+  std::vector<bool> covered(net.num_segments(), true);
+  std::vector<int> uncovered_out(net.num_intersections(), 0);
+  std::size_t remaining = 0;
+  for (const auto& seg : net.segments()) {
+    if (seg.is_gateway()) continue;
+    covered[seg.id.value()] = false;
+    ++uncovered_out[seg.from.value()];
+    ++remaining;
+  }
+  std::vector<bool> has_uncovered(net.num_intersections(), false);
+  for (std::size_t i = 0; i < has_uncovered.size(); ++i) has_uncovered[i] = uncovered_out[i] > 0;
+
+  const auto take = [&](EdgeId e) {
+    route.edges.push_back(e);
+    route.total_length += net.segment(e).length;
+    if (!covered[e.value()]) {
+      covered[e.value()] = true;
+      const NodeId f = net.segment(e).from;
+      if (--uncovered_out[f.value()] == 0) has_uncovered[f.value()] = false;
+      --remaining;
+    }
+  };
+
+  NodeId cur = start;
+  while (remaining > 0) {
+    // Greedy: prefer an uncovered out-edge at the current node (lowest id
+    // first for determinism).
+    EdgeId next = EdgeId::invalid();
+    for (const EdgeId e : net.intersection(cur).out_edges) {
+      if (!covered[e.value()]) {
+        next = e;
+        break;
+      }
+    }
+    if (next.valid()) {
+      take(next);
+      cur = net.segment(next).to;
+      continue;
+    }
+    // Stitch to the nearest node that still has uncovered out-edges.
+    for (const EdgeId e : path_to_nearest(net, cur, has_uncovered)) {
+      take(e);
+      cur = net.segment(e).to;
+    }
+  }
+  // Close the walk.
+  if (cur != start) {
+    const PathResult back = shortest_path(net, cur, start, EdgeWeight::Length);
+    IVC_ASSERT(back.found);
+    for (const EdgeId e : back.edges) take(e);
+  }
+  IVC_ASSERT(validate_patrol_route(net, route));
+  return route;
+}
+
+bool validate_patrol_route(const RoadNetwork& net, const PatrolRoute& route) {
+  if (route.edges.empty()) return net.num_interior_segments() == 0;
+  // Walk must be connected and closed.
+  NodeId cur = route.start;
+  for (const EdgeId e : route.edges) {
+    const Segment& seg = net.segment(e);
+    if (seg.is_gateway()) return false;
+    if (seg.from != cur) return false;
+    cur = seg.to;
+  }
+  if (cur != route.start) return false;
+  // Must cover every interior edge.
+  std::vector<bool> covered(net.num_segments(), false);
+  for (const EdgeId e : route.edges) covered[e.value()] = true;
+  for (const auto& seg : net.segments()) {
+    if (!seg.is_gateway() && !covered[seg.id.value()]) return false;
+  }
+  return true;
+}
+
+}  // namespace ivc::roadnet

@@ -1,0 +1,94 @@
+#include "roadnet/road_network.hpp"
+
+#include <algorithm>
+
+#include "roadnet/graph.hpp"
+#include "util/assert.hpp"
+
+namespace ivc::roadnet {
+
+const Intersection& RoadNetwork::intersection(NodeId id) const {
+  IVC_ASSERT(id.valid() && id.value() < intersections_.size());
+  return intersections_[id.value()];
+}
+
+const Segment& RoadNetwork::segment(EdgeId id) const {
+  IVC_ASSERT(id.valid() && id.value() < segments_.size());
+  return segments_[id.value()];
+}
+
+std::optional<EdgeId> RoadNetwork::edge_between(NodeId u, NodeId v) const {
+  for (const EdgeId e : intersection(u).out_edges) {
+    if (segment(e).to == v) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> RoadNetwork::inbound_neighbors(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const EdgeId e : intersection(u).in_edges) {
+    const NodeId v = segment(e).from;
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> RoadNetwork::outbound_neighbors(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const EdgeId e : intersection(u).out_edges) {
+    const NodeId v = segment(e).to;
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> RoadNetwork::border_intersections() const {
+  std::vector<NodeId> out;
+  for (const auto& node : intersections_) {
+    if (node.is_border()) out.push_back(node.id);
+  }
+  return out;
+}
+
+std::size_t RoadNetwork::num_interior_segments() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) {
+    if (!seg.is_gateway()) ++n;
+  }
+  return n;
+}
+
+bool RoadNetwork::is_open_system() const {
+  return std::any_of(segments_.begin(), segments_.end(),
+                     [](const Segment& s) { return s.is_gateway(); });
+}
+
+double RoadNetwork::free_flow_time(EdgeId e) const {
+  const Segment& seg = segment(e);
+  IVC_ASSERT(seg.speed_limit > 0.0);
+  return seg.length / seg.speed_limit;
+}
+
+double RoadNetwork::approximate_diameter_m() const {
+  if (intersections_.empty()) return 0.0;
+  // Two sweeps of Dijkstra by distance from an arbitrary node give a good
+  // lower-bound estimate of the diameter (exact on grid-like networks).
+  const auto far_from = [&](NodeId start) {
+    const auto dist = shortest_path_distances(*this, start, EdgeWeight::Length);
+    NodeId best = start;
+    double best_d = 0.0;
+    for (const auto& node : intersections_) {
+      const double d = dist[node.id.value()];
+      if (d < kUnreachable && d > best_d) {
+        best_d = d;
+        best = node.id;
+      }
+    }
+    return std::pair{best, best_d};
+  };
+  const auto [far_node, d1] = far_from(intersections_.front().id);
+  const auto [_, d2] = far_from(far_node);
+  return std::max(d1, d2);
+}
+
+}  // namespace ivc::roadnet

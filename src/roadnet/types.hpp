@@ -1,0 +1,16 @@
+// Identifier types shared by the road network, traffic and protocol layers.
+#pragma once
+
+#include "util/ids.hpp"
+
+namespace ivc::roadnet {
+
+struct NodeTag {};
+struct EdgeTag {};
+
+// An intersection (paper: "checkpoint site" u).
+using NodeId = util::StrongId<NodeTag>;
+// A directed road segment (paper: one direction of {u, v}).
+using EdgeId = util::StrongId<EdgeTag>;
+
+}  // namespace ivc::roadnet

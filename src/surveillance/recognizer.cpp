@@ -1,0 +1,22 @@
+#include "surveillance/recognizer.hpp"
+
+#include "util/string_util.hpp"
+
+namespace ivc::surveillance {
+
+std::string TargetSpec::describe() const {
+  if (unconstrained()) return "all vehicles";
+  std::string out;
+  if (color) out += traffic::to_string(*color);
+  if (brand) {
+    if (!out.empty()) out += ' ';
+    out += traffic::to_string(*brand);
+  }
+  if (type) {
+    if (!out.empty()) out += ' ';
+    out += traffic::to_string(*type);
+  }
+  return out;
+}
+
+}  // namespace ivc::surveillance

@@ -1,0 +1,57 @@
+// Checkpoint surveillance: exterior-attribute recognition.
+//
+// Paper Sec. II: "only exterior characteristics of the vehicle such as
+// color, brand, and type are used to identify the target vehicle" — no VIN,
+// no ownership data. A TargetSpec with no constraints counts every civilian
+// vehicle; constrained specs implement the "Does anyone see that white
+// van?" extension. Police patrol cars are recognized and never counted.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "traffic/attributes.hpp"
+
+namespace ivc::surveillance {
+
+struct TargetSpec {
+  std::optional<traffic::Color> color;
+  std::optional<traffic::BodyType> type;
+  std::optional<traffic::Brand> brand;
+
+  [[nodiscard]] bool unconstrained() const {
+    return !color.has_value() && !type.has_value() && !brand.has_value();
+  }
+
+  [[nodiscard]] static TargetSpec all_vehicles() { return {}; }
+  [[nodiscard]] static TargetSpec white_van() {
+    TargetSpec spec;
+    spec.color = traffic::Color::White;
+    spec.type = traffic::BodyType::Van;
+    return spec;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class Recognizer {
+ public:
+  explicit Recognizer(TargetSpec spec = TargetSpec::all_vehicles()) : spec_(spec) {}
+
+  // True iff the vehicle is countable under this spec. Police cars never
+  // match (paper: "The patrol car will not be counted by any checkpoint").
+  [[nodiscard]] bool matches(const traffic::ExteriorAttributes& attrs) const {
+    if (attrs.type == traffic::BodyType::PoliceCar) return false;
+    if (spec_.color && attrs.color != *spec_.color) return false;
+    if (spec_.type && attrs.type != *spec_.type) return false;
+    if (spec_.brand && attrs.brand != *spec_.brand) return false;
+    return true;
+  }
+
+  [[nodiscard]] const TargetSpec& spec() const { return spec_; }
+
+ private:
+  TargetSpec spec_;
+};
+
+}  // namespace ivc::surveillance

@@ -1,0 +1,69 @@
+#include "traffic/attributes.hpp"
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace ivc::traffic {
+
+const char* to_string(Color c) {
+  switch (c) {
+    case Color::White: return "white";
+    case Color::Black: return "black";
+    case Color::Silver: return "silver";
+    case Color::Gray: return "gray";
+    case Color::Red: return "red";
+    case Color::Blue: return "blue";
+    case Color::Green: return "green";
+    case Color::Yellow: return "yellow";
+    case Color::kCount: break;
+  }
+  IVC_UNREACHABLE("bad Color");
+}
+
+const char* to_string(BodyType t) {
+  switch (t) {
+    case BodyType::Sedan: return "sedan";
+    case BodyType::Van: return "van";
+    case BodyType::Truck: return "truck";
+    case BodyType::Suv: return "suv";
+    case BodyType::Bus: return "bus";
+    case BodyType::Motorcycle: return "motorcycle";
+    case BodyType::PoliceCar: return "police";
+    case BodyType::kCount: break;
+  }
+  IVC_UNREACHABLE("bad BodyType");
+}
+
+const char* to_string(Brand b) {
+  switch (b) {
+    case Brand::Apex: return "Apex";
+    case Brand::Borealis: return "Borealis";
+    case Brand::Cascade: return "Cascade";
+    case Brand::Dynamo: return "Dynamo";
+    case Brand::Everest: return "Everest";
+    case Brand::Fulcrum: return "Fulcrum";
+    case Brand::kCount: break;
+  }
+  IVC_UNREACHABLE("bad Brand");
+}
+
+std::string describe(const ExteriorAttributes& attrs) {
+  return util::format("%s %s %s", to_string(attrs.color), to_string(attrs.brand),
+                      to_string(attrs.type));
+}
+
+double body_length(BodyType t) {
+  switch (t) {
+    case BodyType::Sedan: return 4.5;
+    case BodyType::Van: return 5.5;
+    case BodyType::Truck: return 8.0;
+    case BodyType::Suv: return 4.8;
+    case BodyType::Bus: return 11.0;
+    case BodyType::Motorcycle: return 2.2;
+    case BodyType::PoliceCar: return 4.8;
+    case BodyType::kCount: break;
+  }
+  IVC_UNREACHABLE("bad BodyType");
+}
+
+}  // namespace ivc::traffic

@@ -1,0 +1,63 @@
+// Exterior vehicle attributes.
+//
+// The paper's checkpoints identify vehicles only by exterior characteristics
+// (colour, brand, type) — never VIN or ownership data (privacy, Sec. II).
+// These attributes drive the surveillance recognizer and the
+// "Does anyone see that white van?" specified-type counting extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ivc::traffic {
+
+enum class Color : std::uint8_t {
+  White,
+  Black,
+  Silver,
+  Gray,
+  Red,
+  Blue,
+  Green,
+  Yellow,
+  kCount,
+};
+
+enum class BodyType : std::uint8_t {
+  Sedan,
+  Van,
+  Truck,
+  Suv,
+  Bus,
+  Motorcycle,
+  PoliceCar,  // patrol vehicles; excluded from all counting
+  kCount,
+};
+
+enum class Brand : std::uint8_t {
+  Apex,
+  Borealis,
+  Cascade,
+  Dynamo,
+  Everest,
+  Fulcrum,
+  kCount,
+};
+
+struct ExteriorAttributes {
+  Color color = Color::White;
+  BodyType type = BodyType::Sedan;
+  Brand brand = Brand::Apex;
+
+  friend bool operator==(const ExteriorAttributes&, const ExteriorAttributes&) = default;
+};
+
+[[nodiscard]] const char* to_string(Color c);
+[[nodiscard]] const char* to_string(BodyType t);
+[[nodiscard]] const char* to_string(Brand b);
+[[nodiscard]] std::string describe(const ExteriorAttributes& attrs);
+
+// Physical length by body type (meters); feeds the car-following gap model.
+[[nodiscard]] double body_length(BodyType t);
+
+}  // namespace ivc::traffic

@@ -1,0 +1,66 @@
+// Simulation events consumed by the surveillance / counting layers.
+//
+// The engine is observer-driven: the counting protocol never polls vehicle
+// state; it reacts to the same observable moments the paper's checkpoints
+// do — a vehicle transiting an intersection (camera + V2I exchange window)
+// and confirmed overtake reports from cooperative V2V ranging.
+#pragma once
+
+#include "roadnet/types.hpp"
+#include "traffic/vehicle.hpp"
+#include "util/sim_time.hpp"
+
+namespace ivc::traffic {
+
+// A vehicle crossed intersection `node`, arriving via `from_edge` and
+// departing via `to_edge`. Either may be a gateway edge (open systems);
+// both are always valid edge ids.
+struct TransitEvent {
+  util::SimTime time;
+  VehicleId vehicle;
+  roadnet::NodeId node;
+  roadnet::EdgeId from_edge;
+  roadnet::EdgeId to_edge;
+  // The vehicle's entry sequence number on `from_edge` (its Vehicle record
+  // already carries the new sequence for `to_edge` when observers run).
+  std::uint64_t from_entry_seq = 0;
+};
+
+// Confirmed order flip on `edge` involving a *watched* vehicle (the engine
+// only tracks watched vehicles — the protocol watches label carriers, per
+// the paper's collaborative V2V detection [8]).
+struct OvertakeEvent {
+  util::SimTime time;
+  roadnet::EdgeId edge;
+  VehicleId watched;
+  VehicleId other;
+  // true: `other` moved ahead of `watched` (watched was overtaken);
+  // false: `watched` moved ahead of `other` (watched overtook).
+  bool other_now_ahead = false;
+};
+
+struct SpawnEvent {
+  util::SimTime time;
+  VehicleId vehicle;
+  roadnet::EdgeId edge;
+};
+
+// Vehicle left the simulation (reached the outer end of an outbound
+// gateway edge). Closed systems never despawn.
+struct DespawnEvent {
+  util::SimTime time;
+  VehicleId vehicle;
+  roadnet::EdgeId edge;
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_spawn(const SpawnEvent&) {}
+  virtual void on_transit(const TransitEvent&) {}
+  virtual void on_overtake(const OvertakeEvent&) {}
+  virtual void on_despawn(const DespawnEvent&) {}
+  virtual void on_step_end(util::SimTime) {}
+};
+
+}  // namespace ivc::traffic

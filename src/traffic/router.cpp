@@ -1,0 +1,79 @@
+#include "traffic/router.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "roadnet/graph.hpp"
+#include "util/assert.hpp"
+
+namespace ivc::traffic {
+
+namespace {
+struct QueueEntry {
+  double dist;
+  std::uint32_t node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.node > b.node;
+  }
+};
+}  // namespace
+
+Router::Router(const roadnet::RoadNetwork& net, std::uint64_t seed)
+    : net_(net), rng_(seed) {}
+
+void Router::exclude_edge(roadnet::EdgeId e) { excluded_.insert(e); }
+
+std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId to) {
+  IVC_ASSERT(from.valid() && to.valid());
+  if (from == to) return {};
+  const std::size_t n = net_.num_intersections();
+  dist_.assign(n, roadnet::kUnreachable);
+  parent_.assign(n, roadnet::EdgeId::invalid());
+
+  // Jitter in [0.75, 1.35] per request: route diversity that also flattens edge betweenness (rarely-used edges stall the marker wave at low volume) without
+  // maintaining congestion state.
+  const double jitter_lo = 0.75;
+  const double jitter_hi = 1.35;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  dist_[from.value()] = 0.0;
+  heap.push({0.0, from.value()});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist_[u]) continue;
+    if (roadnet::NodeId{u} == to) break;
+    for (const roadnet::EdgeId e : net_.intersection(roadnet::NodeId{u}).out_edges) {
+      if (excluded_.contains(e)) continue;
+      const auto v = net_.segment(e).to.value();
+      const double w = net_.free_flow_time(e) * rng_.uniform(jitter_lo, jitter_hi);
+      const double nd = d + w;
+      if (nd < dist_[v]) {
+        dist_[v] = nd;
+        parent_[v] = e;
+        heap.push({nd, v});
+      }
+    }
+  }
+  if (dist_[to.value()] == roadnet::kUnreachable) return {};
+  std::vector<roadnet::EdgeId> path;
+  for (roadnet::NodeId v = to; v != from;) {
+    const roadnet::EdgeId e = parent_[v.value()];
+    path.push_back(e);
+    v = net_.segment(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+roadnet::NodeId Router::random_destination(roadnet::NodeId avoid) {
+  IVC_ASSERT(net_.num_intersections() > 1);
+  for (;;) {
+    const auto idx =
+        static_cast<std::uint32_t>(rng_.uniform_index(net_.num_intersections()));
+    if (roadnet::NodeId{idx} != avoid) return roadnet::NodeId{idx};
+  }
+}
+
+}  // namespace ivc::traffic

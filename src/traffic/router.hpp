@@ -1,0 +1,46 @@
+// Route planning for roaming and boundary trips.
+//
+// Routes minimize free-flow travel time with a small per-request
+// multiplicative jitter so demand spreads over parallel streets the way a
+// real city's does. An exclusion set supports the paper's "odd traffic
+// pattern" experiments: demand that deliberately detours around a segment
+// creates the orphan deadlock that patrol cars must break (Theorem 3).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "util/rng.hpp"
+
+namespace ivc::traffic {
+
+class Router {
+ public:
+  Router(const roadnet::RoadNetwork& net, std::uint64_t seed);
+
+  // Edges that demand refuses to route over (they remain drivable; the
+  // patrol fleet still uses them).
+  void exclude_edge(roadnet::EdgeId e);
+  [[nodiscard]] const std::unordered_set<roadnet::EdgeId>& excluded() const {
+    return excluded_;
+  }
+
+  // Shortest jittered path from `from` to `to` over non-excluded interior
+  // edges. Returns an empty vector when unreachable (caller falls back to a
+  // non-jittered, non-excluded search before giving up).
+  [[nodiscard]] std::vector<roadnet::EdgeId> plan(roadnet::NodeId from, roadnet::NodeId to);
+
+  // Uniformly random interior destination different from `avoid`.
+  [[nodiscard]] roadnet::NodeId random_destination(roadnet::NodeId avoid);
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  util::Rng rng_;
+  std::unordered_set<roadnet::EdgeId> excluded_;
+  // Scratch buffers reused across plan() calls.
+  std::vector<double> dist_;
+  std::vector<roadnet::EdgeId> parent_;
+};
+
+}  // namespace ivc::traffic

@@ -1,0 +1,460 @@
+#include "traffic/sim_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ivc::traffic {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Minimum bumper-to-bumper separation enforced by the overlap clamp.
+constexpr double kMinSeparation = 0.1;
+// Where a blocked front vehicle stops, measured back from the segment end.
+constexpr double kStopMargin = 0.5;
+}  // namespace
+
+SimEngine::SimEngine(const roadnet::RoadNetwork& net, SimConfig config)
+    : net_(net), config_(config), rng_(util::derive_seed(config.seed, "sim-engine")) {
+  IVC_ASSERT(config_.dt > 0.0);
+  lane_offset_.resize(net_.num_segments());
+  std::size_t total_lanes = 0;
+  for (const auto& seg : net_.segments()) {
+    lane_offset_[seg.id.value()] = total_lanes;
+    total_lanes += static_cast<std::size_t>(seg.lanes);
+  }
+  lanes_.resize(total_lanes);
+  node_candidates_.resize(net_.num_intersections());
+}
+
+void SimEngine::add_observer(SimObserver* observer) {
+  IVC_ASSERT(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void SimEngine::set_route_planner(RoutePlanner planner) {
+  route_planner_ = std::move(planner);
+}
+
+std::size_t SimEngine::lane_index(roadnet::EdgeId edge, int lane) const {
+  IVC_ASSERT(edge.valid());
+  IVC_ASSERT(lane >= 0 && lane < net_.segment(edge).lanes);
+  return lane_offset_[edge.value()] + static_cast<std::size_t>(lane);
+}
+
+const std::vector<VehicleId>& SimEngine::lane_vehicles(roadnet::EdgeId edge, int lane) const {
+  return lanes_[lane_index(edge, lane)];
+}
+
+std::vector<VehicleId>& SimEngine::lane_mut(roadnet::EdgeId edge, int lane) {
+  return lanes_[lane_index(edge, lane)];
+}
+
+const Vehicle& SimEngine::vehicle(VehicleId id) const {
+  IVC_ASSERT(id.valid() && id.value() < vehicles_.size());
+  return vehicles_[id.value()];
+}
+
+std::size_t SimEngine::population_inside() const {
+  std::size_t n = 0;
+  for (const auto& veh : vehicles_) {
+    if (veh.alive && !veh.is_patrol && !net_.segment(veh.edge).is_gateway()) ++n;
+  }
+  return n;
+}
+
+std::size_t SimEngine::vehicles_on_edge(roadnet::EdgeId edge) const {
+  std::size_t n = 0;
+  for (int lane = 0; lane < net_.segment(edge).lanes; ++lane) {
+    n += lane_vehicles(edge, lane).size();
+  }
+  return n;
+}
+
+double SimEngine::mean_speed() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& veh : vehicles_) {
+    if (veh.alive) {
+      sum += veh.speed;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+void SimEngine::remove_from_lane(const Vehicle& veh) {
+  auto& lane = lane_mut(veh.edge, veh.lane);
+  const auto it = std::find(lane.begin(), lane.end(), veh.id);
+  IVC_ASSERT(it != lane.end());
+  lane.erase(it);
+}
+
+void SimEngine::insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane,
+                                 double position) {
+  veh.edge = edge;
+  veh.lane = lane;
+  veh.position = position;
+  veh.prev_position = position;
+  auto& vehicles = lane_mut(edge, lane);
+  const auto it = std::lower_bound(vehicles.begin(), vehicles.end(), position,
+                                   [this](VehicleId id, double pos) {
+                                     return vehicles_[id.value()].position < pos;
+                                   });
+  vehicles.insert(it, veh.id);
+}
+
+VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
+                              const ExteriorAttributes& attrs, Route route,
+                              double desired_speed_factor, bool is_patrol) {
+  const auto& seg = net_.segment(edge);
+  IVC_ASSERT(lane >= 0 && lane < seg.lanes);
+  IVC_ASSERT(position >= 0.0 && position < seg.length);
+
+  const double len = body_length(attrs.type);
+  // Validate the jam gap against in-lane neighbors.
+  const auto& lane_list = lane_vehicles(edge, lane);
+  const auto it = std::lower_bound(lane_list.begin(), lane_list.end(), position,
+                                   [this](VehicleId id, double pos) {
+                                     return vehicles_[id.value()].position < pos;
+                                   });
+  if (it != lane_list.end()) {
+    const auto& ahead = vehicles_[it->value()];
+    if (ahead.position - ahead.length - position < kMinSeparation) return VehicleId::invalid();
+  }
+  if (it != lane_list.begin()) {
+    const auto& behind = vehicles_[(it - 1)->value()];
+    if (position - len - behind.position < kMinSeparation) return VehicleId::invalid();
+  }
+
+  Vehicle veh;
+  veh.id = VehicleId{static_cast<std::uint32_t>(vehicles_.size())};
+  veh.attrs = attrs;
+  veh.alive = true;
+  veh.is_patrol = is_patrol;
+  veh.length = len;
+  veh.desired_speed_factor = desired_speed_factor;
+  veh.route = std::move(route);
+  veh.speed = 0.0;
+  veh.entry_seq = ++entry_seq_counter_;
+  vehicles_.push_back(std::move(veh));
+  ++alive_count_;
+
+  insert_into_lane(vehicles_.back(), edge, lane, position);
+  const SpawnEvent event{now_, vehicles_.back().id, edge};
+  for (auto* obs : observers_) obs->on_spawn(event);
+  return vehicles_.back().id;
+}
+
+bool SimEngine::entry_has_room(roadnet::EdgeId edge, int lane, double len) const {
+  const auto& vehicles = lane_vehicles(edge, lane);
+  if (vehicles.empty()) return true;
+  const auto& rear = vehicles_[vehicles.front().value()];
+  return rear.position - rear.length - len >= kMinSeparation + 1.0;
+}
+
+int SimEngine::pick_entry_lane(roadnet::EdgeId edge, double len) const {
+  const auto& seg = net_.segment(edge);
+  int best = -1;
+  double best_space = -kInf;
+  for (int lane = 0; lane < seg.lanes; ++lane) {
+    if (!entry_has_room(edge, lane, len)) continue;
+    const auto& vehicles = lane_vehicles(edge, lane);
+    const double space =
+        vehicles.empty() ? seg.length
+                         : vehicles_[vehicles.front().value()].position -
+                               vehicles_[vehicles.front().value()].length;
+    if (space > best_space) {
+      best_space = space;
+      best = lane;
+    }
+  }
+  return best;
+}
+
+VehicleId SimEngine::try_spawn_at_start(roadnet::EdgeId edge, const ExteriorAttributes& attrs,
+                                        Route route, double desired_speed_factor,
+                                        bool is_patrol) {
+  const double len = body_length(attrs.type);
+  const int lane = pick_entry_lane(edge, len);
+  if (lane < 0) return VehicleId::invalid();
+  return spawn_at(edge, lane, 0.0, attrs, std::move(route), desired_speed_factor, is_patrol);
+}
+
+void SimEngine::set_watched(VehicleId id, bool watched) {
+  if (watched) {
+    watched_.insert(id);
+  } else {
+    watched_.erase(id);
+  }
+}
+
+roadnet::EdgeId SimEngine::ensure_next_edge(Vehicle& veh, roadnet::NodeId node) {
+  roadnet::EdgeId next = veh.route.peek();
+  if (!next.valid()) {
+    if (route_planner_) {
+      Route replanned = route_planner_(veh.id, node);
+      if (!replanned.edges.empty()) veh.route = std::move(replanned);
+    }
+    next = veh.route.peek();
+    if (!next.valid()) {
+      // Fallback: roam onto a uniformly random out-edge so traffic never
+      // stalls even without a planner (unit-test configurations).
+      const auto& out = net_.intersection(node).out_edges;
+      IVC_ASSERT_MSG(!out.empty(), "dead-end node reached");
+      veh.route.edges = {out[rng_.uniform_index(out.size())]};
+      veh.route.next = 0;
+      next = veh.route.peek();
+    }
+  }
+  IVC_ASSERT_MSG(net_.segment(next).from == node || net_.segment(next).is_inbound_gateway(),
+                 "route continuity violated");
+  return next;
+}
+
+void SimEngine::apply_lane_changes() {
+  if (!config_.allow_lane_change) return;
+  for (const auto& seg : net_.segments()) {
+    if (seg.lanes < 2) continue;
+    // Collect desired moves, then apply with re-validation; front-most first
+    // so a move doesn't invalidate the decision of the vehicle behind it.
+    for (int lane = 0; lane < seg.lanes; ++lane) {
+      auto& lane_list = lane_mut(seg.id, lane);
+      for (std::size_t i = lane_list.size(); i-- > 0;) {
+        Vehicle& veh = vehicles_[lane_list[i].value()];
+        if (veh.lane_change_cooldown > 0) continue;
+        if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
+        if (veh.position > seg.length - config_.intersection_lookahead) continue;
+        // Current leader gap.
+        double lead_gap = kInf;
+        double lead_speed = kInf;
+        if (i + 1 < lane_list.size()) {
+          const Vehicle& leader = vehicles_[lane_list[i + 1].value()];
+          lead_gap = leader.position - leader.length - veh.position;
+          lead_speed = leader.speed;
+        }
+        const double desired = veh.desired_speed(seg.speed_limit);
+        const bool wants_out =
+            lead_gap < veh.speed * veh.driver.headway * 1.5 && lead_speed < 0.85 * desired;
+        if (!wants_out) continue;
+
+        int best_lane = -1;
+        double best_gain = lead_gap;
+        for (const int target : {lane - 1, lane + 1}) {
+          if (target < 0 || target >= seg.lanes) continue;
+          const auto& tgt = lane_vehicles(seg.id, target);
+          const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
+                                           [this](VehicleId id, double pos) {
+                                             return vehicles_[id.value()].position < pos;
+                                           });
+          double tgt_lead_gap = kInf;
+          if (it != tgt.end()) {
+            const Vehicle& tl = vehicles_[it->value()];
+            tgt_lead_gap = tl.position - tl.length - veh.position;
+          }
+          double tgt_follow_gap = kInf;
+          double follower_speed = 0.0;
+          if (it != tgt.begin()) {
+            const Vehicle& tf = vehicles_[(it - 1)->value()];
+            tgt_follow_gap = veh.position - veh.length - tf.position;
+            follower_speed = tf.speed;
+          }
+          const bool safe = tgt_lead_gap > veh.driver.min_gap + 1.0 &&
+                            tgt_follow_gap > veh.driver.min_gap + 0.5 * follower_speed;
+          if (safe && tgt_lead_gap > best_gain * 1.2) {
+            best_gain = tgt_lead_gap;
+            best_lane = target;
+          }
+        }
+        if (best_lane >= 0) {
+          const double pos = veh.position;
+          remove_from_lane(veh);
+          insert_into_lane(veh, seg.id, best_lane, pos);
+          // Keep prev_position so the overtake detector sees the continuing
+          // longitudinal trajectory, not a teleport.
+          veh.prev_position = std::min(veh.prev_position, pos);
+          veh.lane_change_cooldown = 10;
+          // `lane_list` was not touched for `target != lane`, but the index
+          // set shrank if best_lane == lane (impossible); continue safely.
+        }
+      }
+    }
+  }
+}
+
+void SimEngine::update_dynamics() {
+  const double dt = config_.dt;
+  for (const auto& seg : net_.segments()) {
+    const bool outbound_gateway = seg.is_outbound_gateway();
+    for (int lane = 0; lane < seg.lanes; ++lane) {
+      auto& lane_list = lane_mut(seg.id, lane);
+      // Front-to-back so each follower clamps against its leader's *new*
+      // position (sequential update; collision-free by construction).
+      for (std::size_t i = lane_list.size(); i-- > 0;) {
+        Vehicle& veh = vehicles_[lane_list[i].value()];
+        // Vehicles already past the end are waiting for admission.
+        if (veh.position >= seg.length) {
+          veh.speed = 0.0;
+          continue;
+        }
+        double gap = kInf;
+        double lead_speed = 0.0;
+        if (i + 1 < lane_list.size()) {
+          const Vehicle& leader = vehicles_[lane_list[i + 1].value()];
+          gap = std::min(leader.position, seg.length) - leader.length - veh.position;
+          lead_speed = leader.speed;
+        } else if (!outbound_gateway &&
+                   veh.position > seg.length - config_.intersection_lookahead) {
+          // Front vehicle near the intersection: check whether the next edge
+          // can take it; if not, treat the stop line as a standing obstacle.
+          const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
+          if (pick_entry_lane(next, veh.length) < 0) {
+            gap = (seg.length - kStopMargin) - veh.position;
+            lead_speed = 0.0;
+          }
+        }
+        const double desired = veh.desired_speed(seg.speed_limit);
+        const double accel =
+            idm_acceleration(veh.speed, desired, gap, veh.speed - lead_speed, veh.driver);
+        double v = std::clamp(veh.speed + accel * dt, 0.0, desired);
+        double pos = veh.position + v * dt;
+        // Overlap clamp against the (already updated) leader.
+        if (i + 1 < lane_list.size()) {
+          const Vehicle& leader = vehicles_[lane_list[i + 1].value()];
+          const double limit = leader.position - leader.length - kMinSeparation;
+          if (pos > limit) {
+            pos = std::max(veh.position, limit);
+            v = (pos - veh.position) / dt;
+          }
+        } else if (std::isfinite(gap)) {
+          // Blocked at the stop line.
+          const double limit = seg.length - kStopMargin;
+          if (pos > limit) {
+            pos = std::max(veh.position, limit);
+            v = (pos - veh.position) / dt;
+          }
+        }
+        veh.position = pos;
+        veh.speed = v;
+      }
+    }
+  }
+}
+
+void SimEngine::detect_overtakes() {
+  if (watched_.empty()) return;
+  for (const VehicleId wid : watched_) {
+    const Vehicle& w = vehicles_[wid.value()];
+    if (!w.alive) continue;
+    const auto& seg = net_.segment(w.edge);
+    if (seg.lanes < 2) continue;  // single-lane edges are FIFO by construction
+    for (int lane = 0; lane < seg.lanes; ++lane) {
+      for (const VehicleId xid : lane_vehicles(w.edge, lane)) {
+        if (xid == wid) continue;
+        const Vehicle& x = vehicles_[xid.value()];
+        const double before = x.prev_position - w.prev_position;
+        const double after = x.position - w.position;
+        if (before == 0.0 || after == 0.0) continue;
+        if ((before < 0.0) != (after < 0.0)) {
+          const OvertakeEvent event{now_, w.edge, wid, xid, after > 0.0};
+          for (auto* obs : observers_) obs->on_overtake(event);
+        }
+      }
+    }
+  }
+}
+
+void SimEngine::process_transits() {
+  for (auto& c : node_candidates_) c.clear();
+
+  for (const auto& seg : net_.segments()) {
+    for (int lane = 0; lane < seg.lanes; ++lane) {
+      const auto& lane_list = lane_vehicles(seg.id, lane);
+      if (lane_list.empty()) continue;
+      const Vehicle& front = vehicles_[lane_list.back().value()];
+      if (front.position < seg.length) continue;
+      if (seg.is_outbound_gateway()) {
+        // Reached the outside world: despawn.
+        Vehicle& veh = vehicles_[front.id.value()];
+        remove_from_lane(veh);
+        veh.alive = false;
+        --alive_count_;
+        watched_.erase(veh.id);
+        const DespawnEvent event{now_, veh.id, seg.id};
+        for (auto* obs : observers_) obs->on_despawn(event);
+        continue;
+      }
+      node_candidates_[seg.to.value()].push_back(
+          {front.id, seg.id, front.position - seg.length});
+    }
+  }
+
+  for (const auto& node : net_.intersections()) {
+    auto& candidates = node_candidates_[node.id.value()];
+    if (candidates.empty()) continue;
+    // Earlier arrivals (larger overflow) first; deterministic tie-break.
+    std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+      if (a.overflow != b.overflow) return a.overflow > b.overflow;
+      return a.veh < b.veh;
+    });
+
+    // Admission budget: extended model (or any roundabout) admits one
+    // vehicle per approach per step; the simple model admits a single
+    // vehicle per intersection per step ("only one vehicle is allowed to
+    // enter the intersection and make the turn").
+    const bool per_approach =
+        config_.multi_admission || node.kind == roadnet::IntersectionKind::Roundabout;
+    std::unordered_set<std::uint32_t> used_approaches;
+    int admitted = 0;
+    for (const Candidate& cand : candidates) {
+      if (!per_approach && admitted >= 1) break;
+      if (per_approach && used_approaches.contains(cand.from_edge.value())) continue;
+
+      Vehicle& veh = vehicles_[cand.veh.value()];
+      const roadnet::EdgeId next = ensure_next_edge(veh, node.id);
+      const int entry_lane = pick_entry_lane(next, veh.length);
+      if (entry_lane < 0) continue;  // no room; wait at the stop line
+
+      const std::uint64_t from_entry_seq = veh.entry_seq;
+      remove_from_lane(veh);
+      veh.route.advance();
+      insert_into_lane(veh, next, entry_lane, 0.0);
+      veh.entry_seq = ++entry_seq_counter_;
+      ++admitted;
+      used_approaches.insert(cand.from_edge.value());
+      ++total_transits_;
+
+      const TransitEvent event{now_, veh.id, node.id, cand.from_edge, next,
+                               from_entry_seq};
+      for (auto* obs : observers_) obs->on_transit(event);
+    }
+  }
+}
+
+void SimEngine::finish_step() {
+  for (auto& veh : vehicles_) {
+    if (!veh.alive) continue;
+    veh.prev_position = veh.position;
+    if (veh.lane_change_cooldown > 0) --veh.lane_change_cooldown;
+  }
+  now_ += util::SimTime::from_seconds(config_.dt);
+  ++step_count_;
+  for (auto* obs : observers_) obs->on_step_end(now_);
+}
+
+void SimEngine::step() {
+  apply_lane_changes();
+  update_dynamics();
+  detect_overtakes();
+  process_transits();
+  finish_step();
+}
+
+void SimEngine::run_for(util::SimTime duration) {
+  const util::SimTime end = now_ + duration;
+  while (now_ < end) step();
+}
+
+}  // namespace ivc::traffic

@@ -1,0 +1,175 @@
+// Time-stepped microscopic traffic simulation engine.
+//
+// Substitute for SUMO (paper Sec. V): IDM car-following per lane,
+// gap-acceptance lane changes (overtaking on multi-lane segments),
+// per-approach intersection admission, store-and-forward of vehicles across
+// intersections with position carry-over, Poisson boundary flows (driven by
+// the demand models), and observer hooks at exactly the moments the
+// counting protocol can observe (intersection transits, confirmed
+// overtakes, spawns/despawns).
+//
+// Determinism: given a seed and a fixed observer set, runs are bit-exact.
+// All iteration is in index order; intersection admission rotates its
+// approach priority with the step counter; every random draw comes from
+// seeded streams. This is what makes the parallel benchmark sweeps
+// reproducible.
+//
+// Model notes:
+//  * "Simple road model" (paper Sec. III-A): single-lane roads, no lane
+//    changes, one admission per intersection per step -> strictly FIFO
+//    edges, the precondition of Theorem 1. Configure with
+//    `SimConfig::simple_model()`.
+//  * Extended model: multi-lane, overtakes, one admission per approach per
+//    step (roundabouts likewise admit per approach, modeling the paper's
+//    multi-target tracking).
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "traffic/events.hpp"
+#include "traffic/vehicle.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace ivc::traffic {
+
+struct SimConfig {
+  double dt = 0.5;  // s per step
+  // true: one admission per inbound approach per step (extended model);
+  // false: one admission per intersection per step (simple model).
+  bool multi_admission = true;
+  bool allow_lane_change = true;
+  // Distance from the segment end at which a front vehicle starts treating
+  // a blocked intersection as a stop line.
+  double intersection_lookahead = 40.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] static SimConfig simple_model() {
+    SimConfig c;
+    c.multi_admission = false;
+    c.allow_lane_change = false;
+    return c;
+  }
+};
+
+class SimEngine {
+ public:
+  SimEngine(const roadnet::RoadNetwork& net, SimConfig config);
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  // ---- wiring -------------------------------------------------------------
+
+  // Observers are non-owning and are invoked in registration order.
+  void add_observer(SimObserver* observer);
+
+  // Called when a vehicle's route is exhausted and it needs a continuation
+  // from `node`; must return a route whose first edge leaves `node` (or an
+  // empty route to fall back to a random out-edge).
+  using RoutePlanner = std::function<Route(VehicleId, roadnet::NodeId)>;
+  void set_route_planner(RoutePlanner planner);
+
+  // ---- vehicle management ---------------------------------------------------
+
+  // Spawn at an arbitrary position (initial population placement). Fails
+  // (returns invalid id) if the spot would violate the jam gap.
+  VehicleId spawn_at(roadnet::EdgeId edge, int lane, double position,
+                     const ExteriorAttributes& attrs, Route route,
+                     double desired_speed_factor = 1.0, bool is_patrol = false);
+
+  // Spawn at the upstream end of `edge` if there is room.
+  VehicleId try_spawn_at_start(roadnet::EdgeId edge, const ExteriorAttributes& attrs,
+                               Route route, double desired_speed_factor = 1.0,
+                               bool is_patrol = false);
+
+  // The protocol watches label carriers; the engine reports order flips
+  // (overtakes) only for watched vehicles.
+  void set_watched(VehicleId id, bool watched);
+
+  // ---- simulation -----------------------------------------------------------
+
+  void step();
+  void run_for(util::SimTime duration);
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t step_count() const { return step_count_; }
+  [[nodiscard]] double dt() const { return config_.dt; }
+
+  // ---- queries --------------------------------------------------------------
+
+  [[nodiscard]] const roadnet::RoadNetwork& network() const { return net_; }
+  [[nodiscard]] const Vehicle& vehicle(VehicleId id) const;
+  [[nodiscard]] const std::vector<Vehicle>& vehicles() const { return vehicles_; }
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  // Non-patrol vehicles currently on interior edges — the open-system
+  // ground-truth population (oracle).
+  [[nodiscard]] std::size_t population_inside() const;
+  [[nodiscard]] const std::vector<VehicleId>& lane_vehicles(roadnet::EdgeId edge,
+                                                            int lane) const;
+  [[nodiscard]] std::size_t vehicles_on_edge(roadnet::EdgeId edge) const;
+  [[nodiscard]] double mean_speed() const;
+  [[nodiscard]] std::uint64_t total_transits() const { return total_transits_; }
+
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+ private:
+  struct LaneRef {
+    roadnet::EdgeId edge;
+    int lane;
+  };
+
+  std::vector<VehicleId>& lane_mut(roadnet::EdgeId edge, int lane);
+  [[nodiscard]] std::size_t lane_index(roadnet::EdgeId edge, int lane) const;
+
+  void apply_lane_changes();
+  void update_dynamics();
+  void detect_overtakes();
+  void process_transits();
+  void finish_step();
+
+  // True if lane `lane` of `edge` has room for a vehicle of length `len`
+  // entering at position 0.
+  [[nodiscard]] bool entry_has_room(roadnet::EdgeId edge, int lane, double len) const;
+  [[nodiscard]] int pick_entry_lane(roadnet::EdgeId edge, double len) const;
+  // Next interior/gateway edge the vehicle will take from `node`; replans
+  // via the route planner when exhausted. Returns invalid only if the
+  // vehicle must despawn (should not happen at interior nodes).
+  roadnet::EdgeId ensure_next_edge(Vehicle& veh, roadnet::NodeId node);
+
+  void remove_from_lane(const Vehicle& veh);
+  void insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane, double position);
+
+  const roadnet::RoadNetwork& net_;
+  SimConfig config_;
+  util::Rng rng_;
+  util::SimTime now_;
+  std::uint64_t step_count_ = 0;
+  std::uint64_t total_transits_ = 0;
+
+  std::vector<Vehicle> vehicles_;  // indexed by VehicleId; never reused
+  std::size_t alive_count_ = 0;
+  std::uint64_t entry_seq_counter_ = 0;
+
+  // lane_vehicles_[lane_offset(edge) + lane] sorted by position ascending
+  // (back() is the front-most vehicle).
+  std::vector<std::vector<VehicleId>> lanes_;
+  std::vector<std::size_t> lane_offset_;  // per edge
+
+  std::unordered_set<VehicleId> watched_;
+  std::vector<SimObserver*> observers_;
+  RoutePlanner route_planner_;
+
+  // Scratch: transit candidates per step.
+  struct Candidate {
+    VehicleId veh;
+    roadnet::EdgeId from_edge;
+    double overflow;  // how far past the edge end (earlier arrival = larger)
+  };
+  std::vector<std::vector<Candidate>> node_candidates_;  // per intersection
+};
+
+}  // namespace ivc::traffic

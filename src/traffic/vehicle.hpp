@@ -1,0 +1,77 @@
+// Vehicle state.
+//
+// A vehicle is a purely kinematic entity plus exterior attributes; all
+// protocol state (label bit, counted bit, carried reports) lives in the
+// v2x::Obu owned by the counting layer, keyed by VehicleId. VehicleIds are
+// never reused, so protocol maps stay valid across despawns.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "roadnet/types.hpp"
+#include "traffic/attributes.hpp"
+#include "traffic/idm.hpp"
+#include "util/ids.hpp"
+
+namespace ivc::traffic {
+
+struct VehicleTag {};
+using VehicleId = util::StrongId<VehicleTag>;
+
+// Remaining route as edge ids. `cyclic` routes wrap (patrol cars driving
+// the Theorem-4 cycle forever); ordinary routes are consumed and replanned
+// by the demand model when exhausted.
+struct Route {
+  std::vector<roadnet::EdgeId> edges;
+  std::size_t next = 0;
+  bool cyclic = false;
+
+  [[nodiscard]] bool exhausted() const { return !cyclic && next >= edges.size(); }
+  [[nodiscard]] roadnet::EdgeId peek() const {
+    if (edges.empty()) return roadnet::EdgeId::invalid();
+    return cyclic ? edges[next % edges.size()] : (next < edges.size() ? edges[next]
+                                                                      : roadnet::EdgeId::invalid());
+  }
+  void advance() {
+    if (cyclic) {
+      next = (next + 1) % edges.size();
+    } else if (next < edges.size()) {
+      ++next;
+    }
+  }
+};
+
+struct Vehicle {
+  VehicleId id;
+  ExteriorAttributes attrs;
+  bool alive = false;
+  bool is_patrol = false;
+
+  // Kinematics.
+  roadnet::EdgeId edge;
+  int lane = 0;
+  double position = 0.0;       // m from edge start (front bumper)
+  double prev_position = 0.0;  // position at the previous step (same edge)
+  double speed = 0.0;          // m/s
+  double desired_speed_factor = 1.0;  // multiplies the edge speed limit
+  double length = 4.5;         // m, from body type
+  IdmParams driver;
+
+  Route route;
+
+  // Steps since the last lane change (hysteresis against ping-ponging).
+  int lane_change_cooldown = 0;
+
+  // Monotone sequence number assigned each time the vehicle is placed on a
+  // new edge (spawn or transit; NOT lane changes). Two vehicles on the same
+  // edge entered in entry_seq order — the protocol's overtake accounting
+  // compares arrival order against this entry order.
+  std::uint64_t entry_seq = 0;
+
+  [[nodiscard]] double desired_speed(double edge_limit) const {
+    return edge_limit * desired_speed_factor;
+  }
+};
+
+}  // namespace ivc::traffic

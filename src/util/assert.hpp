@@ -1,0 +1,33 @@
+// Lightweight assertion macros that stay enabled in release builds.
+//
+// Simulation correctness (the paper's zero-mis/double-counting claims) is
+// checked with these in production code paths; they are cheap relative to the
+// per-step work and catching an invariant violation late is far more expensive.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ivc::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "IVC_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ivc::util
+
+#define IVC_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) ::ivc::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define IVC_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) ::ivc::util::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+// Internal invariant that indicates a programming error, not bad input.
+#define IVC_UNREACHABLE(msg) ::ivc::util::assert_fail("unreachable", __FILE__, __LINE__, msg)

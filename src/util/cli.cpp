@@ -1,0 +1,131 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/string_util.hpp"
+
+namespace ivc::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(std::string name, bool* target, std::string help) {
+  options_.push_back({std::move(name), Kind::Flag, target, std::move(help),
+                      *target ? "true" : "false"});
+}
+
+void Cli::add_int(std::string name, std::int64_t* target, std::string help) {
+  options_.push_back({std::move(name), Kind::Int, target, std::move(help),
+                      std::to_string(*target)});
+}
+
+void Cli::add_double(std::string name, double* target, std::string help) {
+  options_.push_back({std::move(name), Kind::Double, target, std::move(help),
+                      format("%g", *target)});
+}
+
+void Cli::add_string(std::string name, std::string* target, std::string help) {
+  options_.push_back({std::move(name), Kind::String, target, std::move(help), *target});
+}
+
+Cli::Option* Cli::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      print_usage(std::cout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      std::cerr << program_ << ": unexpected positional argument '" << arg << "'\n";
+      print_usage(std::cerr);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      std::cerr << program_ << ": unknown option '--" << arg << "'\n";
+      print_usage(std::cerr);
+      return false;
+    }
+    if (opt->kind == Kind::Flag) {
+      if (has_value) {
+        const std::string lowered = to_lower(value);
+        *static_cast<bool*>(opt->target) = (lowered == "1" || lowered == "true" ||
+                                            lowered == "yes" || lowered == "on");
+      } else {
+        *static_cast<bool*>(opt->target) = true;
+      }
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": option '--" << arg << "' expects a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    char* end = nullptr;
+    switch (opt->kind) {
+      case Kind::Int: {
+        const long long parsed = std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          std::cerr << program_ << ": option '--" << arg << "' expects an integer, got '"
+                    << value << "'\n";
+          return false;
+        }
+        *static_cast<std::int64_t*>(opt->target) = parsed;
+        break;
+      }
+      case Kind::Double: {
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          std::cerr << program_ << ": option '--" << arg << "' expects a number, got '"
+                    << value << "'\n";
+          return false;
+        }
+        *static_cast<double*>(opt->target) = parsed;
+        break;
+      }
+      case Kind::String:
+        *static_cast<std::string*>(opt->target) = value;
+        break;
+      case Kind::Flag:
+        break;
+    }
+  }
+  return true;
+}
+
+void Cli::print_usage(std::ostream& out) const {
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    out << "  --" << opt.name;
+    switch (opt.kind) {
+      case Kind::Flag: break;
+      case Kind::Int: out << " <int>"; break;
+      case Kind::Double: out << " <num>"; break;
+      case Kind::String: out << " <str>"; break;
+    }
+    out << "\n      " << opt.help << " (default: " << opt.default_repr << ")\n";
+  }
+  out << "  --help\n      show this message\n";
+}
+
+}  // namespace ivc::util

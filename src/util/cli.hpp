@@ -1,0 +1,50 @@
+// Tiny declarative CLI flag parser for examples and benches.
+//
+// Supports --name value, --name=value and boolean --flag forms plus an
+// auto-generated --help. Deliberately minimal: the harnesses only need
+// typed scalar options.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ivc::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  void add_flag(std::string name, bool* target, std::string help);
+  void add_int(std::string name, std::int64_t* target, std::string help);
+  void add_double(std::string name, double* target, std::string help);
+  void add_string(std::string name, std::string* target, std::string help);
+
+  // Returns false (after printing usage/diagnostics) if parsing failed or
+  // --help was requested; callers should exit 0 on help, non-zero on error.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  void print_usage(std::ostream& out) const;
+
+ private:
+  enum class Kind { Flag, Int, Double, String };
+  struct Option {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Option* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ivc::util

@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/assert.hpp"
+#include "util/string_util.hpp"
+
+namespace ivc::util {
+
+void CsvWriter::header(const std::vector<std::string>& columns) { row(columns); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) text.push_back(format("%.*f", precision, v));
+  row(text);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  IVC_ASSERT(!columns_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  IVC_ASSERT_MSG(cells.size() == columns_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << std::setw(static_cast<int>(widths[i])) << cells[i];
+      out << (i + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule.append(widths[i], '-');
+    if (i + 1 != widths.size()) rule.append(2, '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ivc::util

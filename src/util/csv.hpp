@@ -1,0 +1,41 @@
+// CSV / aligned-table emission for the figure benches and trace recorder.
+//
+// Every figure harness prints both a human-readable aligned table (the rows
+// the paper plots) and, optionally, machine-readable CSV next to it.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ivc::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience for numeric rows.
+  void row_numeric(const std::vector<double>& cells, int precision = 3);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+};
+
+// Fixed-width aligned text table; buffers rows, prints on flush().
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ivc::util

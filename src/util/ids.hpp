@@ -1,0 +1,46 @@
+// Strongly-typed integer identifiers.
+//
+// The road network, traffic and protocol layers all index into dense arrays;
+// strong IDs keep an intersection id from being used where a segment id is
+// expected without any runtime cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ivc::util {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+}  // namespace ivc::util
+
+// std::hash support so strong IDs can key unordered containers.
+namespace std {
+template <typename Tag>
+struct hash<ivc::util::StrongId<Tag>> {
+  size_t operator()(ivc::util::StrongId<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and heavily tested, so logging is used for
+// example programs and benchmark narration rather than debugging; the
+// default level is Warn to keep bench output machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ivc::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& msg);
+
+  [[nodiscard]] static bool enabled(LogLevel lvl) { return lvl >= level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : level_(lvl) {}
+  ~LogLine() { Logger::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ivc::util
+
+#define IVC_LOG(lvl)                                 \
+  if (!::ivc::util::Logger::enabled(lvl)) {          \
+  } else                                             \
+    ::ivc::util::detail::LogLine(lvl)
+
+#define IVC_TRACE() IVC_LOG(::ivc::util::LogLevel::Trace)
+#define IVC_DEBUG() IVC_LOG(::ivc::util::LogLevel::Debug)
+#define IVC_INFO() IVC_LOG(::ivc::util::LogLevel::Info)
+#define IVC_WARN() IVC_LOG(::ivc::util::LogLevel::Warn)
+#define IVC_ERROR() IVC_LOG(::ivc::util::LogLevel::Error)

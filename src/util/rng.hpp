@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (demand, car-following noise, channel loss,
+// seed placement) draws from its own Rng stream derived from a master seed
+// plus a component tag, so (a) runs are reproducible bit-for-bit, and
+// (b) parameter sweeps executed on the thread pool are order-independent.
+//
+// Generator: xoshiro256** (Blackman & Vigna), seeded via SplitMix64 — the
+// standard recommendation for simulation workloads; much faster than
+// std::mt19937_64 and with better statistical behaviour than minstd.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace ivc::util {
+
+// SplitMix64 step; used for seeding and for hashing tags into seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Combine a seed with a string tag (e.g. "demand", "channel") to derive
+// independent streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::string_view tag);
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt);
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+  // Standard normal via Marsaglia polar method (cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  // Exponential with given rate (mean 1/rate); used for Poisson arrivals.
+  double exponential(double rate);
+
+  // Fisher-Yates shuffle.
+  template <typename RandomIt>
+  void shuffle(RandomIt first, RandomIt last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const std::uint64_t j = uniform_index(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+  // Split off an independent child stream (for per-vehicle / per-edge noise).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace ivc::util

@@ -1,0 +1,50 @@
+// Simulation clock.
+//
+// Time is kept as an integer count of milliseconds to make runs bit-exact
+// across platforms and to allow exact equality comparisons in the protocol
+// layer (e.g. "label issued at the same step it was requested").
+#pragma once
+
+#include <cstdint>
+
+namespace ivc::util {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime from_millis(std::int64_t ms) { return SimTime{ms}; }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1000.0 + 0.5)};
+  }
+  [[nodiscard]] static constexpr SimTime from_minutes(double m) {
+    return from_seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr SimTime never() { return SimTime{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t millis() const { return ms_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ms_) / 1000.0; }
+  [[nodiscard]] constexpr double minutes() const { return seconds() / 60.0; }
+  [[nodiscard]] constexpr bool is_never() const { return ms_ == INT64_MAX; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) { return a.ms_ == b.ms_; }
+  friend constexpr bool operator!=(SimTime a, SimTime b) { return a.ms_ != b.ms_; }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.ms_ < b.ms_; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) { return a.ms_ <= b.ms_; }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.ms_ > b.ms_; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) { return a.ms_ >= b.ms_; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ms_ + b.ms_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ms_ - b.ms_}; }
+
+  constexpr SimTime& operator+=(SimTime d) {
+    ms_ += d.ms_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ms) : ms_(ms) {}
+  std::int64_t ms_ = 0;
+};
+
+}  // namespace ivc::util

@@ -1,0 +1,64 @@
+// Streaming statistics and histograms.
+//
+// The figure harnesses aggregate per-checkpoint convergence times into the
+// max/min/avg panels of Figs. 2-5; RunningStats gives those in one pass with
+// Welford's numerically stable variance update.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ivc::util {
+
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+// edge buckets so totals always balance.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  // Linear-interpolated quantile estimate in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Exact quantiles over a retained sample vector (used by tests; the figure
+// benches use RunningStats to stay O(1) per checkpoint).
+[[nodiscard]] double exact_quantile(std::vector<double> values, double q);
+
+}  // namespace ivc::util

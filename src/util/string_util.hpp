@@ -1,0 +1,18 @@
+// Small string helpers shared by the CSV writer and CLI parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivc::util {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+// printf-style formatting into std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ivc::util

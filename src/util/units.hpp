@@ -1,0 +1,30 @@
+// Unit conversions used throughout the simulation.
+//
+// All internal quantities are SI (meters, seconds, m/s). The paper quotes
+// speed limits in mph (15 mph simple model, 25 mph after the NYC speed-limit
+// change [14]) and reports elapsed time in minutes; conversions live here so
+// no magic constants appear at call sites.
+#pragma once
+
+namespace ivc::util {
+
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerMinute = 60.0;
+
+[[nodiscard]] constexpr double mph_to_mps(double mph) {
+  return mph * kMetersPerMile / kSecondsPerHour;
+}
+
+[[nodiscard]] constexpr double mps_to_mph(double mps) {
+  return mps * kSecondsPerHour / kMetersPerMile;
+}
+
+[[nodiscard]] constexpr double seconds_to_minutes(double s) { return s / kSecondsPerMinute; }
+[[nodiscard]] constexpr double minutes_to_seconds(double m) { return m * kSecondsPerMinute; }
+
+// Paper's two operating points.
+inline constexpr double kSpeedLimit15MphMps = mph_to_mps(15.0);  // ~6.7 m/s
+inline constexpr double kSpeedLimit25MphMps = mph_to_mps(25.0);  // ~11.2 m/s
+
+}  // namespace ivc::util

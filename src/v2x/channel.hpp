@@ -1,0 +1,50 @@
+// Lossy wireless channel model.
+//
+// The paper simulates "lossy wireless communication, with a 30% chance of
+// failure" for the checkpoint-to-vehicle exchange with a departing vehicle
+// (the labeling handoff, Alg. 3 phase 3), confirmed by a TCP-style ack [6].
+// Exchanges with a vehicle stopped/slowly crossing the intersection have
+// ample contact time, so deliveries *into* a checkpoint are modeled as
+// reliable after retransmission; pickups by a moving vehicle are the
+// Bernoulli-lossy operation. Patrol cars use dedicated equipment and are
+// always reliable.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace ivc::v2x {
+
+class Channel {
+ public:
+  Channel(double loss_probability, std::uint64_t seed)
+      : loss_probability_(loss_probability),
+        rng_(util::derive_seed(seed, "v2x-channel")) {
+    IVC_ASSERT(loss_probability >= 0.0 && loss_probability <= 1.0);
+  }
+
+  // Handoff to a moving vehicle (label or message pickup). A failure is
+  // detected by the missing ack, so the caller can compensate and retry.
+  [[nodiscard]] bool pickup_succeeds() { return !rng_.bernoulli(loss_probability_); }
+
+  [[nodiscard]] double loss_probability() const { return loss_probability_; }
+
+  [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+
+  // Instrumented variant used by the protocol so benches can report
+  // retransmission overhead.
+  [[nodiscard]] bool tracked_pickup() {
+    ++attempts_;
+    const bool ok = pickup_succeeds();
+    if (!ok) ++failures_;
+    return ok;
+  }
+
+ private:
+  double loss_probability_;
+  util::Rng rng_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace ivc::v2x

@@ -1,0 +1,67 @@
+// On-board unit (OBU) state.
+//
+// Each VANET vehicle node stores (paper Sec. III-B): the checkpoint status
+// label it may be carrying, its own counted bit for this counting round,
+// and any routed messages it is ferrying. The registry is keyed by
+// VehicleId (ids are never reused, so despawned entries simply go stale).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "traffic/vehicle.hpp"
+#include "v2x/message.hpp"
+
+namespace ivc::v2x {
+
+struct ObuState {
+  // Set when the vehicle has been counted by any checkpoint this round.
+  bool counted = false;
+
+  // Marker being carried (at most one; consumed on arrival).
+  std::optional<Label> label;
+  // Net counter adjustment accumulated by the cooperative overtake
+  // detection while carrying the label (paper Alg. 3 lines 5-8).
+  int overtake_delta = 0;
+
+  // Routed messages being ferried to the next checkpoint.
+  std::vector<Message> cargo;
+
+  [[nodiscard]] bool has_label() const { return label.has_value(); }
+};
+
+class ObuRegistry {
+ public:
+  ObuState& get(traffic::VehicleId id) {
+    const std::size_t idx = id.value();
+    if (idx >= states_.size()) states_.resize(idx + 1);
+    return states_[idx];
+  }
+
+  [[nodiscard]] const ObuState* find(traffic::VehicleId id) const {
+    const std::size_t idx = id.value();
+    return idx < states_.size() ? &states_[idx] : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  // Number of labels currently in flight (diagnostics / quiescence check).
+  [[nodiscard]] std::size_t labels_in_flight() const {
+    std::size_t n = 0;
+    for (const auto& s : states_) {
+      if (s.has_label()) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t cargo_in_flight() const {
+    std::size_t n = 0;
+    for (const auto& s : states_) n += s.cargo.size();
+    return n;
+  }
+
+ private:
+  std::vector<ObuState> states_;
+};
+
+}  // namespace ivc::v2x

@@ -1,0 +1,94 @@
+// Shared scaffolding for protocol integration tests: builds a world
+// (network + engine + demand + protocol + oracle) and runs it to
+// convergence.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "counting/oracle.hpp"
+#include "counting/protocol.hpp"
+#include "roadnet/manhattan.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/router.hpp"
+#include "traffic/sim_engine.hpp"
+
+namespace ivc::testing {
+
+struct WorldConfig {
+  roadnet::RoadNetwork net;
+  traffic::SimConfig sim;
+  counting::ProtocolConfig protocol;
+  std::size_t vehicles = 100;
+  std::uint64_t seed = 1;
+  // Skip init_population() in the constructor so the test can first adjust
+  // the router (e.g. exclude an orphan edge before any route is planned).
+  bool defer_population = false;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config)
+      : net_(std::move(config.net)),
+        engine_(net_, config.sim),
+        router_(net_, util::derive_seed(config.seed, "router")) {
+    traffic::DemandConfig dc;
+    dc.vehicles_at_100pct = config.vehicles;
+    dc.arrival_rate_at_100pct = 0.5;
+    dc.seed = util::derive_seed(config.seed, "demand");
+    demand_ = std::make_unique<traffic::DemandModel>(engine_, router_, dc);
+    engine_.set_route_planner([this](traffic::VehicleId v, roadnet::NodeId n) {
+      return demand_->plan_continuation(v, n);
+    });
+    config.protocol.seed = util::derive_seed(config.seed, "protocol");
+    protocol_ = std::make_unique<counting::CountingProtocol>(engine_, config.protocol);
+    oracle_ = std::make_unique<counting::Oracle>(
+        engine_, surveillance::Recognizer(config.protocol.target));
+    protocol_->set_oracle(oracle_.get());
+    if (!config.defer_population) placed_ = demand_->init_population();
+  }
+
+  std::size_t init_population() {
+    placed_ = demand_->init_population();
+    return placed_;
+  }
+
+  // Runs until `done()` or the limit; returns true when done() was reached.
+  bool run_until(const std::function<bool()>& done, double limit_minutes = 120.0) {
+    const auto limit = util::SimTime::from_minutes(limit_minutes);
+    while (engine_.now() < limit) {
+      demand_->update();
+      engine_.step();
+      if (engine_.step_count() % 10 == 0 && done()) return true;
+    }
+    return done();
+  }
+
+  bool run_to_convergence(double limit_minutes = 120.0) {
+    return run_until(
+        [this] {
+          return protocol_->all_stable() && protocol_->quiescent() &&
+                 (!protocol_->config().collection || protocol_->collection_complete());
+        },
+        limit_minutes);
+  }
+
+  roadnet::RoadNetwork& net() { return net_; }
+  traffic::SimEngine& engine() { return engine_; }
+  traffic::Router& router() { return router_; }
+  traffic::DemandModel& demand() { return *demand_; }
+  counting::CountingProtocol& protocol() { return *protocol_; }
+  counting::Oracle& oracle() { return *oracle_; }
+  [[nodiscard]] std::size_t placed() const { return placed_; }
+
+ private:
+  roadnet::RoadNetwork net_;
+  traffic::SimEngine engine_;
+  traffic::Router router_;
+  std::unique_ptr<traffic::DemandModel> demand_;
+  std::unique_ptr<counting::CountingProtocol> protocol_;
+  std::unique_ptr<counting::Oracle> oracle_;
+  std::size_t placed_ = 0;
+};
+
+}  // namespace ivc::testing

@@ -1,0 +1,135 @@
+// Patrol fleet: Theorem 3 (orphan-segment deadlock broken by patrol) and
+// patrol mechanics (never counted, reliable marker carrier, message ferry).
+#include <gtest/gtest.h>
+
+#include "counting/patrol.hpp"
+#include "counting_test_helpers.hpp"
+#include "roadnet/patrol_planner.hpp"
+#include "traffic/trace.hpp"
+
+namespace ivc::counting {
+namespace {
+
+using ivc::testing::World;
+using ivc::testing::WorldConfig;
+using roadnet::EdgeId;
+using roadnet::NodeId;
+
+// The orphan fixture: a two-way ring where demand refuses to drive the
+// directed edge 2 -> 1 ("all vehicles deliberately detour around ... the
+// corresponding directional road segment is called the orphan").
+struct OrphanWorld {
+  explicit OrphanWorld(std::uint64_t rng, std::size_t vehicles = 40)
+      : world(WorldConfig{roadnet::make_ring(6, 150.0), traffic::SimConfig::simple_model(),
+                          ProtocolConfig{}, vehicles, rng,
+                          /*defer_population=*/true}) {
+    // Exclude the orphan before any route is planned, so no vehicle ever
+    // drives it.
+    orphan = *world.net().edge_between(NodeId{2}, NodeId{1});
+    world.router().exclude_edge(orphan);
+    world.init_population();
+  }
+  World world;
+  EdgeId orphan;
+};
+
+TEST(Patrol, OrphanSegmentDeadlocksWithoutPatrol) {
+  OrphanWorld fixture(301);
+  auto& protocol = fixture.world.protocol();
+  protocol.designate_seeds({NodeId{0}});
+  protocol.start();
+  EXPECT_FALSE(fixture.world.run_until([&] { return protocol.all_stable(); }, 60.0));
+  // The stalled direction is exactly 1 <- 2 (waiting for a marker that no
+  // vehicle will carry over the orphan edge).
+  const auto& cp = protocol.checkpoint(NodeId{1});
+  const auto* dir = cp.find_inbound(fixture.orphan);
+  ASSERT_NE(dir, nullptr);
+  EXPECT_EQ(dir->state, DirectionState::Counting);
+}
+
+TEST(Patrol, PatrolCarBreaksTheDeadlock) {
+  OrphanWorld fixture(302);
+  auto& engine = fixture.world.engine();
+  auto route = roadnet::plan_patrol_route(engine.network(), NodeId{0});
+  PatrolFleet fleet(engine, std::move(route));
+  ASSERT_EQ(fleet.deploy(2), 2u);
+
+  auto& protocol = fixture.world.protocol();
+  protocol.designate_seeds({NodeId{0}});
+  protocol.start();
+  // Theorem 3: with every pair of adjacent checkpoints reachable by a
+  // patrol car within finite delay, counting converges.
+  ASSERT_TRUE(fixture.world.run_to_convergence(90.0))
+      << protocol.debug_collection_state();
+  EXPECT_EQ(protocol.live_total(), fixture.world.oracle().true_population());
+  const auto once = fixture.world.oracle().verify_exactly_once();
+  EXPECT_TRUE(once.ok) << once.detail;
+}
+
+TEST(Patrol, PatrolCarsAreNeverCounted) {
+  WorldConfig wc{roadnet::make_ring(5, 150.0), traffic::SimConfig::simple_model(),
+                 ProtocolConfig{}, 30, 303};
+  World world(std::move(wc));
+  auto route = roadnet::plan_patrol_route(world.engine().network(), NodeId{0});
+  PatrolFleet fleet(world.engine(), std::move(route));
+  ASSERT_GE(fleet.deploy(3), 2u);
+  auto& protocol = world.protocol();
+  protocol.designate_seeds({NodeId{0}});
+  protocol.start();
+  ASSERT_TRUE(world.run_to_convergence(90.0));
+  // Total excludes patrol cars even though they crossed every checkpoint.
+  EXPECT_EQ(protocol.live_total(), world.oracle().true_population());
+  for (const traffic::VehicleId id : fleet.vehicles()) {
+    EXPECT_EQ(world.oracle().times_counted(id), 0);
+  }
+}
+
+TEST(Patrol, FleetDeploysEvenlyAlongCycle) {
+  const auto net = roadnet::make_one_way_ring(8, 100.0);
+  traffic::SimEngine engine(net, traffic::SimConfig::simple_model());
+  auto route = roadnet::plan_patrol_route(net, NodeId{0});
+  PatrolFleet fleet(engine, std::move(route));
+  EXPECT_EQ(fleet.deploy(4), 4u);
+  // Vehicles sit on distinct edges (spacing 200 m on an 800 m cycle).
+  std::set<std::uint32_t> edges;
+  for (const auto id : fleet.vehicles()) {
+    EXPECT_TRUE(engine.vehicle(id).is_patrol);
+    edges.insert(engine.vehicle(id).edge.value());
+  }
+  EXPECT_EQ(edges.size(), 4u);
+}
+
+TEST(Patrol, PatrolKeepsDrivingTheCycle) {
+  const auto net = roadnet::make_one_way_ring(4, 100.0);
+  traffic::SimEngine engine(net, traffic::SimConfig::simple_model());
+  auto route = roadnet::plan_patrol_route(net, NodeId{0});
+  PatrolFleet fleet(engine, std::move(route));
+  ASSERT_EQ(fleet.deploy(1), 1u);
+  traffic::TransitCounter transits;
+  engine.add_observer(&transits);
+  engine.run_for(util::SimTime::from_minutes(5.0));
+  // 400 m cycle at ~10 m/s: several laps -> transits at every node.
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    EXPECT_GT(transits.at_node(NodeId{node}), 2u);
+  }
+}
+
+TEST(Patrol, StaleMailRidesThePatrol) {
+  // Orphan fixture with collection: the TreeAck/report paths from the
+  // orphan region flow normally, but the marker for the orphan edge rides
+  // the patrol; end-to-end collection must still complete at the seed.
+  OrphanWorld fixture(304, 50);
+  auto& engine = fixture.world.engine();
+  auto route = roadnet::plan_patrol_route(engine.network(), NodeId{0});
+  PatrolFleet fleet(engine, std::move(route));
+  ASSERT_GE(fleet.deploy(2), 1u);
+  auto& protocol = fixture.world.protocol();
+  protocol.designate_seeds({NodeId{3}});
+  protocol.start();
+  ASSERT_TRUE(fixture.world.run_to_convergence(120.0))
+      << protocol.debug_collection_state();
+  EXPECT_EQ(protocol.collected_total(), fixture.world.oracle().true_population());
+}
+
+}  // namespace
+}  // namespace ivc::counting

@@ -1,0 +1,157 @@
+// NetworkBuilder structure and validation.
+#include <gtest/gtest.h>
+
+#include "roadnet/builder.hpp"
+#include "roadnet/road_network.hpp"
+
+namespace ivc::roadnet {
+namespace {
+
+RoadSpec spec(int lanes = 1) {
+  RoadSpec s;
+  s.lanes = lanes;
+  s.speed_limit = 10.0;
+  return s;
+}
+
+TEST(Builder, TwoWayCreatesPairedReverses) {
+  NetworkBuilder b;
+  const NodeId u = b.add_intersection({0, 0});
+  const NodeId v = b.add_intersection({100, 0});
+  const EdgeId fwd = b.add_two_way(u, v, spec());
+  const RoadNetwork net = b.build();
+
+  ASSERT_EQ(net.num_segments(), 2u);
+  const Segment& f = net.segment(fwd);
+  ASSERT_TRUE(f.reverse.valid());
+  const Segment& r = net.segment(f.reverse);
+  EXPECT_EQ(r.reverse, f.id);
+  EXPECT_EQ(f.from, u);
+  EXPECT_EQ(f.to, v);
+  EXPECT_EQ(r.from, v);
+  EXPECT_EQ(r.to, u);
+  EXPECT_FALSE(f.one_way());
+  EXPECT_DOUBLE_EQ(f.length, 100.0);
+}
+
+TEST(Builder, OneWayHasNoReverse) {
+  NetworkBuilder b;
+  const NodeId u = b.add_intersection({0, 0});
+  const NodeId v = b.add_intersection({50, 0});
+  b.add_one_way(u, v, spec());
+  b.add_one_way(v, u, spec());  // separate unpaired return road
+  const RoadNetwork net = b.build();
+  EXPECT_TRUE(net.segments()[0].one_way());
+  EXPECT_TRUE(net.segments()[1].one_way());
+}
+
+TEST(Builder, AdjacencyListsAreConsistent) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({0, 100});
+  const NodeId d = b.add_intersection({100, 0});
+  b.add_two_way(a, c, spec());
+  b.add_two_way(a, d, spec());
+  b.add_two_way(c, d, spec());
+  const RoadNetwork net = b.build();
+
+  EXPECT_EQ(net.intersection(a).out_edges.size(), 2u);
+  EXPECT_EQ(net.intersection(a).in_edges.size(), 2u);
+  for (const EdgeId e : net.intersection(a).out_edges) {
+    EXPECT_EQ(net.segment(e).from, a);
+  }
+  for (const EdgeId e : net.intersection(a).in_edges) {
+    EXPECT_EQ(net.segment(e).to, a);
+  }
+  const auto n_out = net.outbound_neighbors(a);
+  EXPECT_EQ(n_out.size(), 2u);
+  const auto n_in = net.inbound_neighbors(a);
+  EXPECT_EQ(n_in.size(), 2u);
+  EXPECT_TRUE(net.edge_between(a, c).has_value());
+  EXPECT_FALSE(net.edge_between(c, c).has_value());
+}
+
+TEST(Builder, GatewaysAreNotInteriorAdjacency) {
+  NetworkBuilder b;
+  const NodeId u = b.add_intersection({0, 0});
+  const NodeId v = b.add_intersection({100, 0});
+  b.add_two_way(u, v, spec());
+  const EdgeId gin = b.add_inbound_gateway(u, spec());
+  const EdgeId gout = b.add_outbound_gateway(u, spec());
+  const RoadNetwork net = b.build();
+
+  EXPECT_TRUE(net.segment(gin).is_inbound_gateway());
+  EXPECT_TRUE(net.segment(gout).is_outbound_gateway());
+  EXPECT_FALSE(net.segment(gin).one_way());
+  EXPECT_EQ(net.intersection(u).out_edges.size(), 1u);  // interior only
+  EXPECT_EQ(net.intersection(u).in_edges.size(), 1u);
+  EXPECT_TRUE(net.intersection(u).is_border());
+  EXPECT_FALSE(net.intersection(v).is_border());
+  EXPECT_TRUE(net.is_open_system());
+  EXPECT_EQ(net.num_interior_segments(), 2u);
+  EXPECT_EQ(net.border_intersections().size(), 1u);
+}
+
+TEST(Builder, FreeFlowTime) {
+  NetworkBuilder b;
+  const NodeId u = b.add_intersection({0, 0});
+  const NodeId v = b.add_intersection({100, 0});
+  const EdgeId e = b.add_two_way(u, v, spec());
+  const RoadNetwork net = b.build();
+  EXPECT_DOUBLE_EQ(net.free_flow_time(e), 10.0);
+}
+
+TEST(Builder, ReverseLanesOverride) {
+  NetworkBuilder b;
+  const NodeId u = b.add_intersection({0, 0});
+  const NodeId v = b.add_intersection({100, 0});
+  RoadSpec s = spec(3);
+  s.reverse_lanes = 1;
+  const EdgeId fwd = b.add_two_way(u, v, s);
+  const RoadNetwork net = b.build();
+  EXPECT_EQ(net.segment(fwd).lanes, 3);
+  EXPECT_EQ(net.segment(net.segment(fwd).reverse).lanes, 1);
+}
+
+TEST(Builder, ExplicitLengthOverridesGeometry) {
+  NetworkBuilder b;
+  const NodeId u = b.add_intersection({0, 0});
+  const NodeId v = b.add_intersection({100, 0});
+  const EdgeId e = b.add_two_way(u, v, spec(), 250.0);
+  const RoadNetwork net = b.build();
+  EXPECT_DOUBLE_EQ(net.segment(e).length, 250.0);
+}
+
+TEST(BuilderDeath, DisconnectedNetworkFailsValidation) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({100, 0});
+  const NodeId d = b.add_intersection({0, 100});
+  const NodeId e = b.add_intersection({100, 100});
+  b.add_two_way(a, c, spec());
+  b.add_two_way(d, e, spec());
+  EXPECT_DEATH((void)b.build(/*require_strong_connectivity=*/true), "strongly connected");
+}
+
+TEST(Builder, DisconnectedAllowedWhenNotRequired) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({100, 0});
+  const NodeId d = b.add_intersection({0, 100});
+  const NodeId e = b.add_intersection({100, 100});
+  b.add_two_way(a, c, spec());
+  b.add_two_way(d, e, spec());
+  const RoadNetwork net = b.build(/*require_strong_connectivity=*/false);
+  EXPECT_EQ(net.num_intersections(), 4u);
+}
+
+TEST(BuilderDeath, DeadEndFailsValidation) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({100, 0});
+  b.add_one_way(a, c, spec());  // c has no way out
+  EXPECT_DEATH((void)b.build(false), "dead-end");
+}
+
+}  // namespace
+}  // namespace ivc::roadnet

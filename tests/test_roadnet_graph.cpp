@@ -1,0 +1,154 @@
+// Graph algorithms: BFS reachability, Tarjan SCC, Dijkstra.
+#include <gtest/gtest.h>
+
+#include "roadnet/builder.hpp"
+#include "roadnet/graph.hpp"
+#include "roadnet/manhattan.hpp"
+
+namespace ivc::roadnet {
+namespace {
+
+RoadSpec spec() {
+  RoadSpec s;
+  s.lanes = 1;
+  s.speed_limit = 10.0;
+  return s;
+}
+
+TEST(Graph, ReachabilityOnOneWayRing) {
+  const RoadNetwork net = make_one_way_ring(5);
+  const auto seen = reachable_from(net, NodeId{0});
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST(Graph, SccSingleComponentOnRing) {
+  const RoadNetwork net = make_one_way_ring(6);
+  int count = 0;
+  const auto comp = strongly_connected_components(net, &count);
+  EXPECT_EQ(count, 1);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(comp[i], comp[0]);
+  EXPECT_TRUE(is_strongly_connected(net));
+}
+
+TEST(Graph, SccTwoComponents) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({100, 0});
+  const NodeId d = b.add_intersection({200, 0});
+  const NodeId e = b.add_intersection({300, 0});
+  b.add_two_way(a, c, spec());   // component {a, c}
+  b.add_one_way(c, d, spec());   // bridge (one-way)
+  b.add_two_way(d, e, spec());   // component {d, e}
+  const RoadNetwork net = b.build(false);
+  int count = 0;
+  const auto comp = strongly_connected_components(net, &count);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(comp[a.value()], comp[c.value()]);
+  EXPECT_EQ(comp[d.value()], comp[e.value()]);
+  EXPECT_NE(comp[a.value()], comp[d.value()]);
+  EXPECT_FALSE(is_strongly_connected(net));
+}
+
+TEST(Graph, DijkstraDistancesOnRing) {
+  const RoadNetwork net = make_ring(8, 100.0);
+  const auto dist = shortest_path_distances(net, NodeId{0}, EdgeWeight::Length);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 100.0);
+  EXPECT_DOUBLE_EQ(dist[4], 400.0);  // opposite side, either way round
+  EXPECT_DOUBLE_EQ(dist[7], 100.0);  // two-way ring: one hop back
+}
+
+TEST(Graph, DijkstraOneWayRingGoesTheLongWay) {
+  const RoadNetwork net = make_one_way_ring(8, 100.0);
+  const auto dist = shortest_path_distances(net, NodeId{0}, EdgeWeight::Length);
+  EXPECT_DOUBLE_EQ(dist[7], 700.0);  // must travel all the way around
+}
+
+TEST(Graph, ShortestPathEdgesChainCorrectly) {
+  const RoadNetwork net = make_one_way_ring(6, 50.0);
+  const auto path = shortest_path(net, NodeId{1}, NodeId{4}, EdgeWeight::Length);
+  ASSERT_TRUE(path.found);
+  ASSERT_EQ(path.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(path.cost, 150.0);
+  NodeId cur{1};
+  for (const EdgeId e : path.edges) {
+    EXPECT_EQ(net.segment(e).from, cur);
+    cur = net.segment(e).to;
+  }
+  EXPECT_EQ(cur, NodeId{4});
+}
+
+TEST(Graph, ShortestPathToSelf) {
+  const RoadNetwork net = make_ring(4);
+  const auto path = shortest_path(net, NodeId{2}, NodeId{2}, EdgeWeight::Length);
+  EXPECT_TRUE(path.found);
+  EXPECT_TRUE(path.edges.empty());
+}
+
+TEST(Graph, ShortestPathUnreachable) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({100, 0});
+  const NodeId d = b.add_intersection({200, 0});
+  const NodeId e = b.add_intersection({300, 0});
+  b.add_two_way(a, c, spec());
+  b.add_one_way(c, d, spec());
+  b.add_two_way(d, e, spec());
+  const RoadNetwork net = b.build(false);
+  EXPECT_FALSE(shortest_path(net, d, a, EdgeWeight::Length).found);
+  EXPECT_TRUE(shortest_path(net, a, e, EdgeWeight::Length).found);
+}
+
+TEST(Graph, TimeWeightUsesSpeedLimit) {
+  NetworkBuilder b;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({100, 0});
+  const NodeId d = b.add_intersection({100, 100});
+  RoadSpec fast = spec();
+  fast.speed_limit = 50.0;
+  RoadSpec slow = spec();
+  slow.speed_limit = 5.0;
+  b.add_two_way(a, c, fast);       // 100m @ 50 -> 2 s
+  b.add_two_way(c, d, fast);       // 2 s
+  b.add_two_way(a, d, slow, 141.0);  // direct but 28 s
+  const RoadNetwork net = b.build();
+  const auto path = shortest_path(net, a, d, EdgeWeight::FreeFlowTime);
+  ASSERT_TRUE(path.found);
+  EXPECT_EQ(path.edges.size(), 2u);  // detour wins on time
+  const auto direct = shortest_path(net, a, d, EdgeWeight::Length);
+  EXPECT_EQ(direct.edges.size(), 1u);  // direct wins on distance
+}
+
+TEST(Graph, ApproximateDiameterOfRing) {
+  const RoadNetwork net = make_ring(10, 100.0);
+  EXPECT_NEAR(net.approximate_diameter_m(), 500.0, 1.0);
+}
+
+// Every generated Manhattan configuration must be strongly connected —
+// Theorem 4's premise and a roaming-traffic requirement.
+struct GridCase {
+  int streets;
+  int avenues;
+  int two_way_every;
+};
+
+class ManhattanConnectivityTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ManhattanConnectivityTest, StronglyConnected) {
+  const GridCase param = GetParam();
+  ManhattanConfig config;
+  config.streets = param.streets;
+  config.avenues = param.avenues;
+  config.two_way_every = param.two_way_every;
+  const RoadNetwork net = make_manhattan_grid(config);
+  EXPECT_TRUE(is_strongly_connected(net));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ManhattanConnectivityTest,
+                         ::testing::Values(GridCase{2, 2, 4}, GridCase{3, 3, 4},
+                                           GridCase{5, 4, 3}, GridCase{10, 6, 4},
+                                           GridCase{20, 7, 4}, GridCase{36, 10, 5},
+                                           GridCase{8, 8, 2}, GridCase{15, 5, 0}));
+
+}  // namespace
+}  // namespace ivc::roadnet

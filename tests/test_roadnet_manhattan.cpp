@@ -1,0 +1,164 @@
+// Manhattan grid generator structure.
+#include <gtest/gtest.h>
+
+#include "roadnet/graph.hpp"
+#include "roadnet/manhattan.hpp"
+
+namespace ivc::roadnet {
+namespace {
+
+TEST(Manhattan, NodeCountMatchesGrid) {
+  ManhattanConfig c;
+  c.streets = 6;
+  c.avenues = 5;
+  const RoadNetwork net = make_manhattan_grid(c);
+  EXPECT_EQ(net.num_intersections(), 30u);
+}
+
+TEST(Manhattan, PerimeterIsTwoWay) {
+  ManhattanConfig c;
+  c.streets = 5;
+  c.avenues = 5;
+  c.two_way_every = 0;  // only the perimeter rule applies
+  const RoadNetwork net = make_manhattan_grid(c);
+  // Node (0,0) -> (0,1) lies on the bottom perimeter street: both directions
+  // must exist.
+  EXPECT_TRUE(net.edge_between(NodeId{0}, NodeId{1}).has_value());
+  EXPECT_TRUE(net.edge_between(NodeId{1}, NodeId{0}).has_value());
+}
+
+TEST(Manhattan, InteriorStreetsAlternateOneWay) {
+  ManhattanConfig c;
+  c.streets = 6;
+  c.avenues = 6;
+  c.two_way_every = 0;
+  c.two_way_perimeter = true;
+  const RoadNetwork net = make_manhattan_grid(c);
+  const auto at = [&](int r, int col) { return NodeId{static_cast<std::uint32_t>(r * 6 + col)}; };
+  // Row 2 (even, interior): eastbound only.
+  EXPECT_TRUE(net.edge_between(at(2, 2), at(2, 3)).has_value());
+  EXPECT_FALSE(net.edge_between(at(2, 3), at(2, 2)).has_value());
+  // Row 3 (odd, interior): westbound only.
+  EXPECT_TRUE(net.edge_between(at(3, 3), at(3, 2)).has_value());
+  EXPECT_FALSE(net.edge_between(at(3, 2), at(3, 3)).has_value());
+}
+
+TEST(Manhattan, AvenueLaneCounts) {
+  ManhattanConfig c;
+  c.streets = 4;
+  c.avenues = 4;
+  c.avenue_lanes = 3;
+  c.street_lanes = 2;
+  const RoadNetwork net = make_manhattan_grid(c);
+  bool saw_avenue = false, saw_street = false;
+  for (const auto& seg : net.segments()) {
+    if (seg.is_gateway()) continue;
+    const auto& a = net.intersection(seg.from).position;
+    const auto& b = net.intersection(seg.to).position;
+    if (a.x == b.x) {  // avenue segment (vertical)
+      EXPECT_EQ(seg.lanes, 3);
+      saw_avenue = true;
+    } else {
+      EXPECT_EQ(seg.lanes, 2);
+      saw_street = true;
+    }
+  }
+  EXPECT_TRUE(saw_avenue);
+  EXPECT_TRUE(saw_street);
+}
+
+TEST(Manhattan, RoundaboutPlacedAtNorthwestCorner) {
+  ManhattanConfig c;
+  c.streets = 5;
+  c.avenues = 4;
+  c.with_roundabout = true;
+  const RoadNetwork net = make_manhattan_grid(c);
+  // NW corner = last row, column 0.
+  const NodeId nw{static_cast<std::uint32_t>((5 - 1) * 4 + 0)};
+  EXPECT_EQ(net.intersection(nw).kind, IntersectionKind::Roundabout);
+  std::size_t roundabouts = 0;
+  for (const auto& node : net.intersections()) {
+    if (node.kind == IntersectionKind::Roundabout) ++roundabouts;
+  }
+  EXPECT_EQ(roundabouts, 1u);
+}
+
+TEST(Manhattan, ClosedSystemHasNoGateways) {
+  ManhattanConfig c;
+  c.gateway_stride = 0;
+  const RoadNetwork net = make_manhattan_grid(c);
+  EXPECT_FALSE(net.is_open_system());
+  EXPECT_TRUE(net.border_intersections().empty());
+}
+
+TEST(Manhattan, OpenSystemGatewaysOnPerimeter) {
+  ManhattanConfig c;
+  c.streets = 6;
+  c.avenues = 6;
+  c.gateway_stride = 3;
+  const RoadNetwork net = make_manhattan_grid(c);
+  EXPECT_TRUE(net.is_open_system());
+  const auto border = net.border_intersections();
+  EXPECT_FALSE(border.empty());
+  for (const NodeId node : border) {
+    const auto& info = net.intersection(node);
+    EXPECT_FALSE(info.gateway_in.empty());
+    EXPECT_FALSE(info.gateway_out.empty());
+    // Gateway nodes must be on the grid perimeter.
+    const int r = static_cast<int>(node.value()) / 6;
+    const int col = static_cast<int>(node.value()) % 6;
+    EXPECT_TRUE(r == 0 || r == 5 || col == 0 || col == 5)
+        << "gateway at interior node " << node.value();
+  }
+}
+
+TEST(Manhattan, ScaleShrinksGeometry) {
+  ManhattanConfig base;
+  base.streets = 8;
+  base.avenues = 5;
+  const RoadNetwork full = make_manhattan_grid(base);
+  ManhattanConfig scaled = base;
+  scaled.scale = 0.6;
+  const RoadNetwork small = make_manhattan_grid(scaled);
+  EXPECT_NEAR(small.approximate_diameter_m(), full.approximate_diameter_m() * 0.6, 1.0);
+}
+
+TEST(Manhattan, SpeedLimitApplied) {
+  ManhattanConfig c;
+  c.speed_limit = 11.176;  // 25 mph
+  const RoadNetwork net = make_manhattan_grid(c);
+  for (const auto& seg : net.segments()) {
+    EXPECT_DOUBLE_EQ(seg.speed_limit, 11.176);
+  }
+}
+
+TEST(Manhattan, NamesAreHumanReadable) {
+  ManhattanConfig c;
+  c.streets = 3;
+  c.avenues = 3;
+  const RoadNetwork net = make_manhattan_grid(c);
+  EXPECT_EQ(net.intersection(NodeId{0}).name, "23th St & Av 1");
+}
+
+TEST(Fixtures, TriangleMatchesFigureOne) {
+  const RoadNetwork net = make_triangle();
+  EXPECT_EQ(net.num_intersections(), 3u);
+  EXPECT_EQ(net.num_segments(), 6u);  // three two-way roads
+  EXPECT_TRUE(is_strongly_connected(net));
+  for (const auto& node : net.intersections()) {
+    EXPECT_EQ(node.out_edges.size(), 2u);
+    EXPECT_EQ(node.in_edges.size(), 2u);
+  }
+}
+
+TEST(Fixtures, RingsAreWellFormed) {
+  const RoadNetwork two_way = make_ring(7, 120.0);
+  EXPECT_EQ(two_way.num_intersections(), 7u);
+  EXPECT_EQ(two_way.num_segments(), 14u);
+  const RoadNetwork one_way = make_one_way_ring(7, 120.0);
+  EXPECT_EQ(one_way.num_segments(), 7u);
+  for (const auto& seg : one_way.segments()) EXPECT_TRUE(seg.one_way());
+}
+
+}  // namespace
+}  // namespace ivc::roadnet

@@ -1,0 +1,117 @@
+// Patrol-cycle planner (Theorem 4): edge-covering closed walks.
+#include <gtest/gtest.h>
+
+#include "roadnet/graph.hpp"
+#include "roadnet/manhattan.hpp"
+#include "roadnet/patrol_planner.hpp"
+
+namespace ivc::roadnet {
+namespace {
+
+void expect_valid_cover(const RoadNetwork& net, NodeId start) {
+  const PatrolRoute route = plan_patrol_route(net, start);
+  EXPECT_TRUE(validate_patrol_route(net, route));
+  EXPECT_EQ(route.start, start);
+  // Closed walk: consecutive edges chain and the walk returns to start.
+  NodeId cur = start;
+  double length = 0.0;
+  for (const EdgeId e : route.edges) {
+    ASSERT_EQ(net.segment(e).from, cur);
+    cur = net.segment(e).to;
+    length += net.segment(e).length;
+  }
+  EXPECT_EQ(cur, start);
+  EXPECT_DOUBLE_EQ(length, route.total_length);
+  // Covers every interior edge.
+  std::vector<bool> covered(net.num_segments(), false);
+  for (const EdgeId e : route.edges) covered[e.value()] = true;
+  for (const auto& seg : net.segments()) {
+    if (!seg.is_gateway()) EXPECT_TRUE(covered[seg.id.value()]);
+  }
+}
+
+TEST(Patrol, OneWayRingIsExactlyTheRing) {
+  const RoadNetwork net = make_one_way_ring(6, 100.0);
+  const PatrolRoute route = plan_patrol_route(net, NodeId{0});
+  EXPECT_EQ(route.edges.size(), 6u);
+  EXPECT_DOUBLE_EQ(route.total_length, 600.0);
+}
+
+TEST(Patrol, TwoWayRingCoversBothDirections) {
+  const RoadNetwork net = make_ring(5, 100.0);
+  const PatrolRoute route = plan_patrol_route(net, NodeId{0});
+  EXPECT_TRUE(validate_patrol_route(net, route));
+  EXPECT_GE(route.edges.size(), 10u);  // all 10 directed edges, plus stitching
+}
+
+TEST(Patrol, TriangleCover) { expect_valid_cover(make_triangle(), NodeId{1}); }
+
+TEST(Patrol, WalkLengthIsReasonablyEfficient) {
+  // The cover should not exceed a small multiple of the total edge length.
+  ManhattanConfig c;
+  c.streets = 8;
+  c.avenues = 6;
+  const RoadNetwork net = make_manhattan_grid(c);
+  const PatrolRoute route = plan_patrol_route(net, NodeId{0});
+  double total_edge_length = 0.0;
+  for (const auto& seg : net.segments()) {
+    if (!seg.is_gateway()) total_edge_length += seg.length;
+  }
+  EXPECT_LE(route.total_length, 2.5 * total_edge_length);
+}
+
+TEST(Patrol, ValidatorRejectsBrokenWalks) {
+  const RoadNetwork net = make_one_way_ring(4, 100.0);
+  PatrolRoute route = plan_patrol_route(net, NodeId{0});
+  // Drop an edge: no longer a closed connected walk.
+  PatrolRoute broken = route;
+  broken.edges.pop_back();
+  EXPECT_FALSE(validate_patrol_route(net, broken));
+  // Wrong start.
+  PatrolRoute wrong_start = route;
+  wrong_start.start = NodeId{1};
+  EXPECT_FALSE(validate_patrol_route(net, wrong_start));
+}
+
+TEST(Patrol, ValidatorRejectsIncompleteCover) {
+  const RoadNetwork net = make_ring(4, 100.0);
+  // A walk going once around clockwise covers only half the directed edges.
+  PatrolRoute half;
+  half.start = NodeId{0};
+  NodeId cur{0};
+  for (int i = 0; i < 4; ++i) {
+    const NodeId next{static_cast<std::uint32_t>((cur.value() + 1) % 4)};
+    const auto e = net.edge_between(cur, next);
+    ASSERT_TRUE(e.has_value());
+    half.edges.push_back(*e);
+    cur = next;
+  }
+  EXPECT_FALSE(validate_patrol_route(net, half));
+}
+
+// Property sweep: valid covering walks on all network shapes and start
+// nodes.
+struct PatrolCase {
+  int streets;
+  int avenues;
+  std::uint32_t start;
+};
+
+class PatrolCoverTest : public ::testing::TestWithParam<PatrolCase> {};
+
+TEST_P(PatrolCoverTest, CoversAllEdges) {
+  const auto param = GetParam();
+  ManhattanConfig c;
+  c.streets = param.streets;
+  c.avenues = param.avenues;
+  const RoadNetwork net = make_manhattan_grid(c);
+  expect_valid_cover(net, NodeId{param.start});
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PatrolCoverTest,
+                         ::testing::Values(PatrolCase{2, 2, 0}, PatrolCase{3, 4, 5},
+                                           PatrolCase{5, 5, 12}, PatrolCase{8, 4, 31},
+                                           PatrolCase{10, 7, 0}, PatrolCase{20, 7, 100}));
+
+}  // namespace
+}  // namespace ivc::roadnet

@@ -1,0 +1,82 @@
+// Recognizer / target spec semantics.
+#include <gtest/gtest.h>
+
+#include "surveillance/recognizer.hpp"
+
+namespace ivc::surveillance {
+namespace {
+
+using traffic::BodyType;
+using traffic::Brand;
+using traffic::Color;
+using traffic::ExteriorAttributes;
+
+ExteriorAttributes make(Color c, BodyType t, Brand b = Brand::Apex) {
+  ExteriorAttributes attrs;
+  attrs.color = c;
+  attrs.type = t;
+  attrs.brand = b;
+  return attrs;
+}
+
+TEST(Recognizer, UnconstrainedMatchesCivilianVehicles) {
+  const Recognizer r(TargetSpec::all_vehicles());
+  EXPECT_TRUE(r.matches(make(Color::Red, BodyType::Sedan)));
+  EXPECT_TRUE(r.matches(make(Color::White, BodyType::Bus)));
+  EXPECT_TRUE(r.matches(make(Color::Yellow, BodyType::Motorcycle)));
+}
+
+TEST(Recognizer, PoliceNeverMatches) {
+  const Recognizer all(TargetSpec::all_vehicles());
+  EXPECT_FALSE(all.matches(make(Color::Black, BodyType::PoliceCar)));
+  TargetSpec spec;
+  spec.type = BodyType::PoliceCar;  // even an explicit request is refused
+  const Recognizer police(spec);
+  EXPECT_FALSE(police.matches(make(Color::Black, BodyType::PoliceCar)));
+}
+
+TEST(Recognizer, WhiteVanSpec) {
+  const Recognizer r(TargetSpec::white_van());
+  EXPECT_TRUE(r.matches(make(Color::White, BodyType::Van)));
+  EXPECT_TRUE(r.matches(make(Color::White, BodyType::Van, Brand::Everest)));
+  EXPECT_FALSE(r.matches(make(Color::White, BodyType::Truck)));
+  EXPECT_FALSE(r.matches(make(Color::Black, BodyType::Van)));
+}
+
+TEST(Recognizer, BrandConstraint) {
+  TargetSpec spec;
+  spec.brand = Brand::Cascade;
+  const Recognizer r(spec);
+  EXPECT_TRUE(r.matches(make(Color::Red, BodyType::Suv, Brand::Cascade)));
+  EXPECT_FALSE(r.matches(make(Color::Red, BodyType::Suv, Brand::Apex)));
+}
+
+TEST(Recognizer, FullConstraint) {
+  TargetSpec spec;
+  spec.color = Color::Blue;
+  spec.type = BodyType::Truck;
+  spec.brand = Brand::Dynamo;
+  const Recognizer r(spec);
+  EXPECT_TRUE(r.matches(make(Color::Blue, BodyType::Truck, Brand::Dynamo)));
+  EXPECT_FALSE(r.matches(make(Color::Blue, BodyType::Truck, Brand::Everest)));
+  EXPECT_FALSE(r.matches(make(Color::Blue, BodyType::Van, Brand::Dynamo)));
+  EXPECT_FALSE(r.matches(make(Color::Red, BodyType::Truck, Brand::Dynamo)));
+}
+
+TEST(TargetSpec, Describe) {
+  EXPECT_EQ(TargetSpec::all_vehicles().describe(), "all vehicles");
+  EXPECT_EQ(TargetSpec::white_van().describe(), "white van");
+  TargetSpec spec;
+  spec.brand = Brand::Borealis;
+  spec.type = BodyType::Suv;
+  EXPECT_EQ(spec.describe(), "Borealis suv");
+}
+
+TEST(Attributes, DescribeAndLengths) {
+  EXPECT_EQ(traffic::describe(make(Color::White, BodyType::Van)), "white Apex van");
+  EXPECT_GT(traffic::body_length(BodyType::Bus), traffic::body_length(BodyType::Sedan));
+  EXPECT_GT(traffic::body_length(BodyType::Truck), traffic::body_length(BodyType::Motorcycle));
+}
+
+}  // namespace
+}  // namespace ivc::surveillance

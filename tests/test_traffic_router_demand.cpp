@@ -1,0 +1,197 @@
+// Router planning and demand generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "roadnet/manhattan.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/router.hpp"
+#include "traffic/sim_engine.hpp"
+
+namespace ivc::traffic {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::NodeId;
+using roadnet::RoadNetwork;
+using roadnet::make_ring;
+using roadnet::make_one_way_ring;
+using roadnet::make_manhattan_grid;
+
+TEST(Router, PlansConnectedPaths) {
+  roadnet::ManhattanConfig mc;
+  mc.streets = 6;
+  mc.avenues = 5;
+  const RoadNetwork net = make_manhattan_grid(mc);
+  Router router(net, 3);
+  for (std::uint32_t from = 0; from < 10; ++from) {
+    const NodeId to{net.num_intersections() > from + 13 ? from + 13 : 0u};
+    const auto path = router.plan(NodeId{from}, to);
+    if (NodeId{from} == to) continue;
+    ASSERT_FALSE(path.empty());
+    NodeId cur{from};
+    for (const EdgeId e : path) {
+      ASSERT_EQ(net.segment(e).from, cur);
+      cur = net.segment(e).to;
+    }
+    EXPECT_EQ(cur, to);
+  }
+}
+
+TEST(Router, SelfRouteIsEmpty) {
+  const RoadNetwork net = make_ring(4);
+  Router router(net, 1);
+  EXPECT_TRUE(router.plan(NodeId{2}, NodeId{2}).empty());
+}
+
+TEST(Router, ExcludedEdgeIsAvoided) {
+  const RoadNetwork net = make_ring(6, 100.0);
+  Router router(net, 5);
+  // Exclude the direct clockwise edge 0 -> 1: routes 0..1 must detour.
+  const EdgeId direct = *net.edge_between(NodeId{0}, NodeId{1});
+  router.exclude_edge(direct);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto path = router.plan(NodeId{0}, NodeId{1});
+    ASSERT_FALSE(path.empty());
+    for (const EdgeId e : path) EXPECT_NE(e, direct);
+    EXPECT_EQ(path.size(), 5u);  // the long way round
+  }
+}
+
+TEST(Router, JitterDiversifiesRoutes) {
+  roadnet::ManhattanConfig mc;
+  mc.streets = 8;
+  mc.avenues = 8;
+  const RoadNetwork net = make_manhattan_grid(mc);
+  Router router(net, 17);
+  const NodeId from{0};
+  const NodeId to{static_cast<std::uint32_t>(net.num_intersections() - 1)};
+  std::set<std::vector<std::uint32_t>> distinct;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<std::uint32_t> key;
+    for (const EdgeId e : router.plan(from, to)) key.push_back(e.value());
+    distinct.insert(key);
+  }
+  EXPECT_GT(distinct.size(), 3u);
+}
+
+TEST(Router, RandomDestinationAvoidsCurrent) {
+  const RoadNetwork net = make_ring(5);
+  Router router(net, 9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(router.random_destination(NodeId{3}), NodeId{3});
+  }
+}
+
+TEST(Demand, TargetPopulationScalesWithVolume) {
+  roadnet::ManhattanConfig mc;
+  mc.streets = 4;
+  mc.avenues = 4;
+  const RoadNetwork net = make_manhattan_grid(mc);
+  SimEngine engine(net, SimConfig{});
+  Router router(net, 2);
+  DemandConfig dc;
+  dc.vehicles_at_100pct = 400;
+  dc.volume_pct = 25.0;
+  DemandModel demand(engine, router, dc);
+  EXPECT_EQ(demand.target_population(), 100u);
+}
+
+TEST(Demand, InitPopulationPlacesRequestedVehicles) {
+  roadnet::ManhattanConfig mc;
+  mc.streets = 6;
+  mc.avenues = 5;
+  const RoadNetwork net = make_manhattan_grid(mc);
+  SimEngine engine(net, SimConfig{});
+  Router router(net, 2);
+  DemandConfig dc;
+  dc.vehicles_at_100pct = 150;
+  dc.seed = 3;
+  DemandModel demand(engine, router, dc);
+  const std::size_t placed = demand.init_population();
+  EXPECT_EQ(placed, 150u);
+  EXPECT_EQ(engine.alive_count(), 150u);
+  // No police cars in civilian demand.
+  for (const auto& veh : engine.vehicles()) {
+    EXPECT_FALSE(veh.is_patrol);
+    EXPECT_NE(veh.attrs.type, BodyType::PoliceCar);
+  }
+}
+
+TEST(Demand, AttributesFollowFleetMix) {
+  const RoadNetwork net = make_ring(4);
+  SimEngine engine(net, SimConfig{});
+  Router router(net, 2);
+  DemandConfig dc;
+  dc.seed = 11;
+  DemandModel demand(engine, router, dc);
+  int vans = 0, sedans = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto attrs = demand.sample_attributes();
+    if (attrs.type == BodyType::Van) ++vans;
+    if (attrs.type == BodyType::Sedan) ++sedans;
+  }
+  EXPECT_NEAR(vans / static_cast<double>(n), 0.10, 0.02);
+  EXPECT_NEAR(sedans / static_cast<double>(n), 0.55, 0.03);
+}
+
+TEST(Demand, OpenSystemGeneratesArrivals) {
+  roadnet::ManhattanConfig mc;
+  mc.streets = 5;
+  mc.avenues = 5;
+  mc.gateway_stride = 2;
+  const RoadNetwork net = make_manhattan_grid(mc);
+  SimEngine engine(net, SimConfig{});
+  Router router(net, 2);
+  DemandConfig dc;
+  dc.volume_pct = 100.0;
+  dc.arrival_rate_at_100pct = 1.0;  // 1 vehicle/s
+  dc.vehicles_at_100pct = 0;        // arrivals only
+  dc.seed = 4;
+  DemandModel demand(engine, router, dc);
+  engine.set_route_planner(
+      [&demand](VehicleId v, NodeId n) { return demand.plan_continuation(v, n); });
+  for (int i = 0; i < 240; ++i) {  // 120 s
+    demand.update();
+    engine.step();
+  }
+  // ~120 arrivals budgeted; arrivals that find their gateway full are
+  // dropped (the outside queue is not modeled), so allow generous slack.
+  EXPECT_GT(demand.spawned_total(), 70u);
+  EXPECT_LE(demand.spawned_total(), 125u);
+}
+
+TEST(Demand, ClosedSystemNeverUpdatesArrivals) {
+  const RoadNetwork net = make_ring(4);
+  SimEngine engine(net, SimConfig{});
+  Router router(net, 2);
+  DemandConfig dc;
+  dc.vehicles_at_100pct = 10;
+  DemandModel demand(engine, router, dc);
+  demand.init_population();
+  const auto before = demand.spawned_total();
+  for (int i = 0; i < 100; ++i) demand.update();
+  EXPECT_EQ(demand.spawned_total(), before);
+}
+
+TEST(Demand, ContinuationRoutesLeaveTheGivenNode) {
+  roadnet::ManhattanConfig mc;
+  mc.streets = 4;
+  mc.avenues = 4;
+  mc.gateway_stride = 3;
+  const RoadNetwork net = make_manhattan_grid(mc);
+  SimEngine engine(net, SimConfig{});
+  Router router(net, 2);
+  DemandConfig dc;
+  dc.seed = 5;
+  DemandModel demand(engine, router, dc);
+  for (std::uint32_t node = 0; node < net.num_intersections(); ++node) {
+    const Route route = demand.plan_continuation(VehicleId{0}, NodeId{node});
+    ASSERT_FALSE(route.edges.empty());
+    EXPECT_EQ(net.segment(route.edges.front()).from, NodeId{node});
+  }
+}
+
+}  // namespace
+}  // namespace ivc::traffic

@@ -1,0 +1,156 @@
+// CSV writer, text tables, CLI parser, string helpers, units, sim time,
+// strong ids.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/ids.hpp"
+#include "util/sim_time.hpp"
+#include "util/string_util.hpp"
+#include "util/units.hpp"
+
+namespace ivc::util {
+namespace {
+
+TEST(StringUtil, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitSingleToken) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringUtil, ToLower) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, NumericRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row_numeric({1.0, 2.5}, 1);
+  EXPECT_EQ(out.str(), "1.0,2.5\n");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "long_header"});
+  table.add_row({"xxxxx", "1"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("xxxxx"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Cli, ParsesTypedOptions) {
+  std::int64_t n = 1;
+  double x = 0.5;
+  std::string s = "default";
+  bool flag = false;
+  Cli cli("prog", "test");
+  cli.add_int("n", &n, "int");
+  cli.add_double("x", &x, "double");
+  cli.add_string("s", &s, "string");
+  cli.add_flag("flag", &flag, "flag");
+  const char* argv[] = {"prog", "--n", "42", "--x=2.5", "--s", "hello", "--flag"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(Cli, RejectsBadInteger) {
+  std::int64_t n = 0;
+  Cli cli("prog", "test");
+  cli.add_int("n", &n, "int");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(Cli, BooleanExplicitValue) {
+  bool flag = true;
+  Cli cli("prog", "test");
+  cli.add_flag("flag", &flag, "flag");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Units, MphRoundTrip) {
+  EXPECT_NEAR(mph_to_mps(15.0), 6.7056, 1e-4);
+  EXPECT_NEAR(mps_to_mph(mph_to_mps(25.0)), 25.0, 1e-12);
+  EXPECT_NEAR(seconds_to_minutes(90.0), 1.5, 1e-12);
+}
+
+TEST(SimTime, ArithmeticAndConversions) {
+  const auto t = SimTime::from_seconds(90.0);
+  EXPECT_EQ(t.millis(), 90000);
+  EXPECT_DOUBLE_EQ(t.minutes(), 1.5);
+  const auto u = t + SimTime::from_millis(500);
+  EXPECT_DOUBLE_EQ(u.seconds(), 90.5);
+  EXPECT_LT(t, u);
+  EXPECT_TRUE(SimTime::never().is_never());
+  EXPECT_GT(SimTime::never(), u);
+}
+
+TEST(StrongId, DistinctTypesAndHash) {
+  struct TagA {};
+  using IdA = StrongId<TagA>;
+  const IdA a{3}, b{3}, c{4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(IdA{}.valid());
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(std::hash<IdA>{}(a), std::hash<IdA>{}(b));
+}
+
+}  // namespace
+}  // namespace ivc::util

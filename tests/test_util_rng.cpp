@@ -1,0 +1,188 @@
+// RNG determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ivc::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-5.0, 3.0);
+    ASSERT_GE(v, -5.0);
+    ASSERT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng r(9);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto idx = r.uniform_index(10);
+    ASSERT_LT(idx, 10u);
+    ++histogram[idx];
+  }
+  // Each bucket should hold roughly 10% +- 1.5%.
+  for (const int count : histogram) EXPECT_NEAR(count, 10000, 1500);
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng r(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(14);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(15);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(0.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(16);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  r.shuffle(v.begin(), v.end());
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // Overwhelmingly unlikely to be identity.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(17);
+  Rng child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(DeriveSeed, TagsAreIndependent) {
+  const auto a = derive_seed(42, "demand");
+  const auto b = derive_seed(42, "channel");
+  const auto c = derive_seed(43, "demand");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(42, "demand"));
+}
+
+TEST(DeriveSeed, SaltVariant) {
+  EXPECT_NE(derive_seed(1, std::uint64_t{0}), derive_seed(1, std::uint64_t{1}));
+  EXPECT_EQ(derive_seed(1, std::uint64_t{5}), derive_seed(1, std::uint64_t{5}));
+}
+
+// Property sweep: bounded draws stay in range for many bounds.
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsTest, IndexAlwaysBelowBound) {
+  const std::uint64_t bound = GetParam();
+  Rng r(bound * 7 + 1);
+  for (int i = 0; i < 5000; ++i) ASSERT_LT(r.uniform_index(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundsTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 100, 1000, 1u << 20));
+
+}  // namespace
+}  // namespace ivc::util

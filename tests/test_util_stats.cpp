@@ -1,0 +1,140 @@
+// RunningStats / Histogram correctness against direct computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ivc::util {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  Rng rng(1);
+  RunningStats stats;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    values.push_back(x);
+    stats.add(x);
+  }
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double m2 = 0.0;
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    m2 += (v - mean) * (v - mean);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double var = m2 / static_cast<double>(values.size() - 1);
+
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min(), lo);
+  EXPECT_DOUBLE_EQ(stats.max(), hi);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(2);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-5, 5);
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_NEAR(c.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Histogram, BucketsAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, AsciiRendersEveryBucket) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(ExactQuantile, KnownValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.25), 2.0);
+}
+
+TEST(ExactQuantile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.3), 3.0);
+}
+
+}  // namespace
+}  // namespace ivc::util

@@ -1,0 +1,90 @@
+// Channel loss statistics and OBU registry.
+#include <gtest/gtest.h>
+
+#include "v2x/channel.hpp"
+#include "v2x/obu.hpp"
+
+namespace ivc::v2x {
+namespace {
+
+TEST(Channel, ZeroLossAlwaysSucceeds) {
+  Channel ch(0.0, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(ch.pickup_succeeds());
+}
+
+TEST(Channel, FullLossAlwaysFails) {
+  Channel ch(1.0, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ch.pickup_succeeds());
+}
+
+TEST(Channel, ThirtyPercentLossRate) {
+  Channel ch(0.30, 42);
+  int failures = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (!ch.pickup_succeeds()) ++failures;
+  }
+  EXPECT_NEAR(failures / static_cast<double>(n), 0.30, 0.01);
+}
+
+TEST(Channel, TrackedPickupCountsAttemptsAndFailures) {
+  Channel ch(0.5, 7);
+  for (int i = 0; i < 1000; ++i) (void)ch.tracked_pickup();
+  EXPECT_EQ(ch.attempts(), 1000u);
+  EXPECT_NEAR(static_cast<double>(ch.failures()), 500.0, 70.0);
+}
+
+TEST(Channel, DeterministicPerSeed) {
+  Channel a(0.3, 9), b(0.3, 9);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.pickup_succeeds(), b.pickup_succeeds());
+}
+
+TEST(Obu, RegistryGrowsOnDemand) {
+  ObuRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  registry.get(traffic::VehicleId{5}).counted = true;
+  EXPECT_EQ(registry.size(), 6u);
+  EXPECT_TRUE(registry.get(traffic::VehicleId{5}).counted);
+  EXPECT_FALSE(registry.get(traffic::VehicleId{0}).counted);
+}
+
+TEST(Obu, FindDoesNotGrow) {
+  ObuRegistry registry;
+  EXPECT_EQ(registry.find(traffic::VehicleId{3}), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Obu, LabelLifecycle) {
+  ObuRegistry registry;
+  auto& obu = registry.get(traffic::VehicleId{1});
+  EXPECT_FALSE(obu.has_label());
+  obu.label = Label{roadnet::NodeId{2}, roadnet::EdgeId{7}, util::SimTime::from_seconds(1)};
+  EXPECT_TRUE(obu.has_label());
+  EXPECT_EQ(registry.labels_in_flight(), 1u);
+  obu.label.reset();
+  EXPECT_EQ(registry.labels_in_flight(), 0u);
+}
+
+TEST(Obu, CargoAccounting) {
+  ObuRegistry registry;
+  auto& obu = registry.get(traffic::VehicleId{0});
+  Message msg;
+  msg.source = roadnet::NodeId{1};
+  msg.destination = roadnet::NodeId{2};
+  msg.payload = TreeAck{roadnet::NodeId{1}, false};
+  obu.cargo.push_back(msg);
+  obu.cargo.push_back(msg);
+  EXPECT_EQ(registry.cargo_in_flight(), 2u);
+}
+
+TEST(Message, PayloadVariantRoundTrip) {
+  Message msg;
+  msg.payload = CountReport{roadnet::NodeId{4}, 1234};
+  const auto* report = std::get_if<CountReport>(&msg.payload);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->subtree_total, 1234);
+  EXPECT_EQ(std::get_if<TreeAck>(&msg.payload), nullptr);
+}
+
+}  // namespace
+}  // namespace ivc::v2x
