@@ -6,28 +6,37 @@
 // recommends a single sink as the cost-effective deployment; this bench
 // quantifies both the diminishing constitution returns and the (larger)
 // collection gains from shallower trees.
-#include "figure_common.hpp"
+#include <iostream>
+
+#include "experiment/harness.hpp"
+#include "util/units.hpp"
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace ivc;
-  bench::FigureOptions opts;
-  if (!bench::parse_figure_options(argc, argv, "ablation_seeds",
+  experiment::HarnessOptions opts;
+  if (const auto exit_code = experiment::parse_harness_options(argc, argv, "ablation_seeds",
                                    "multi-seed scaling ablation", &opts)) {
-    return 1;
+    return *exit_code;
   }
-  experiment::SweepConfig sweep;
-  sweep.volumes_pct = {25, 50, 100};
-  sweep.seed_counts = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  sweep.replicas = static_cast<int>(opts.replicas);
-  sweep.threads = static_cast<std::size_t>(opts.threads);
-  sweep.base = bench::paper_scenario(experiment::SystemMode::Closed,
-                                     util::kSpeedLimit15MphMps);
-  sweep.base.seed = static_cast<std::uint64_t>(opts.seed);
-  sweep.base.time_limit_minutes = static_cast<double>(opts.time_limit_min);
+  auto sweep = experiment::make_sweep(
+      opts, experiment::paper_scenario(experiment::SystemMode::Closed,
+                                       util::kSpeedLimit15MphMps));
+  // This ablation's own axes replace the default grid.
+  if (opts.smoke) {
+    sweep.volumes_pct = {50};
+    sweep.seed_counts = {1, 4, 10};  // keep 1 and 10 for the headline speedup
+  } else {
+    sweep.volumes_pct = {25, 50, 100};
+    sweep.seed_counts = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  }
 
   const auto cells = experiment::run_sweep(sweep);
+  bool all_ok = true;
+  for (const auto& cell : cells) {
+    all_ok = all_ok && cell.all_exact && cell.collection_converged;
+  }
   util::TextTable table({"volume%", "seeds", "constitution avg(min)",
                          "collection avg(min)", "wave covered(min)", "exact"});
   for (const auto& cell : cells) {
@@ -54,10 +63,11 @@ int main(int argc, char** argv) {
         c10 = cell.collection_avg_min;
       }
     }
+    if (t1 <= 0.0 || c1 <= 0.0) continue;  // non-converged cells have no headline
     std::cout << util::format(
         "vol %3.0f%%: 10 seeds vs 1: constitution %.0f%% quicker, collection %.0f%% "
         "quicker\n",
         volume, (t1 - t10) / t1 * 100.0, (c1 - c10) / c1 * 100.0);
   }
-  return 0;
+  return all_ok ? 0 : 1;
 }

@@ -7,21 +7,22 @@
 // Paper reference: surfaces spanning ~9-30 minutes; decreasing in volume
 // and (mildly) in seed count. The max/min/avg columns correspond to the
 // paper's panels (a), (b), (c).
-#include "figure_common.hpp"
+#include "experiment/harness.hpp"
+#include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace ivc;
-  bench::FigureOptions opts;
-  if (!bench::parse_figure_options(argc, argv, "fig2_closed_constitution",
+  experiment::HarnessOptions opts;
+  if (const auto exit_code = experiment::parse_harness_options(argc, argv, "fig2_closed_constitution",
                                    "Fig. 2: Alg. 3 constitution time, closed system",
                                    &opts)) {
-    return 1;
+    return *exit_code;
   }
   const auto base =
-      bench::paper_scenario(experiment::SystemMode::Closed, util::kSpeedLimit15MphMps);
-  const auto sweep = bench::make_sweep(opts, base);
-  bench::run_and_report(
+      experiment::paper_scenario(experiment::SystemMode::Closed, util::kSpeedLimit15MphMps);
+  const auto sweep = experiment::make_sweep(opts, base);
+  const auto cells = experiment::run_and_report(
       "Fig. 2 — per-checkpoint constitution time (min), closed system, 15 mph",
       sweep, experiment::FigureKind::Constitution, opts.csv);
-  return 0;
+  return experiment::all_cells_ok(cells, experiment::FigureKind::Constitution) ? 0 : 1;
 }

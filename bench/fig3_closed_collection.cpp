@@ -6,21 +6,22 @@
 // Paper reference: surfaces spanning ~20-50 minutes, roughly 1.7x the
 // constitution time of Fig. 2; max/min/avg over the seeds' completion
 // times correspond to panels (a), (b), (c).
-#include "figure_common.hpp"
+#include "experiment/harness.hpp"
+#include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace ivc;
-  bench::FigureOptions opts;
-  if (!bench::parse_figure_options(argc, argv, "fig3_closed_collection",
+  experiment::HarnessOptions opts;
+  if (const auto exit_code = experiment::parse_harness_options(argc, argv, "fig3_closed_collection",
                                    "Fig. 3: Alg. 3+4 global-view time, closed system",
                                    &opts)) {
-    return 1;
+    return *exit_code;
   }
   const auto base =
-      bench::paper_scenario(experiment::SystemMode::Closed, util::kSpeedLimit15MphMps);
-  const auto sweep = bench::make_sweep(opts, base);
-  bench::run_and_report(
+      experiment::paper_scenario(experiment::SystemMode::Closed, util::kSpeedLimit15MphMps);
+  const auto sweep = experiment::make_sweep(opts, base);
+  const auto cells = experiment::run_and_report(
       "Fig. 3 — seeds' global-view collection time (min), closed system, 15 mph",
       sweep, experiment::FigureKind::Collection, opts.csv);
-  return 0;
+  return experiment::all_cells_ok(cells, experiment::FigureKind::Collection) ? 0 : 1;
 }

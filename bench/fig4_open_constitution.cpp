@@ -9,45 +9,48 @@
 //       up to 58% quicker than Fig. 2 (c).
 // A closed 15 mph baseline is also run to quantify (a) vs Fig. 2(c) (the
 // paper's observation 3: the open/closed gap is limited) and (c)'s speedup.
-#include "figure_common.hpp"
+#include <iostream>
+
+#include "experiment/harness.hpp"
+#include "util/units.hpp"
 #include "util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace ivc;
-  bench::FigureOptions opts;
-  if (!bench::parse_figure_options(
+  experiment::HarnessOptions opts;
+  if (const auto exit_code = experiment::parse_harness_options(
           argc, argv, "fig4_open_constitution",
           "Fig. 4: Alg. 5 complete-status time, open system + speedups", &opts)) {
-    return 1;
+    return *exit_code;
   }
   using experiment::FigureKind;
   using experiment::SystemMode;
 
   // (a) open, 15 mph.
-  const auto open15 = bench::run_and_report(
+  const auto open15 = experiment::run_and_report(
       "Fig. 4(a) — Alg. 5 complete-status time (min), open system, 15 mph",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Open,
                                                     util::kSpeedLimit15MphMps)),
       FigureKind::Constitution, opts.csv);
 
   // (b) open, 25 mph.
-  const auto open25 = bench::run_and_report(
+  const auto open25 = experiment::run_and_report(
       "Fig. 4(b) — same after speed limit lifted to 25 mph",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Open,
                                                     util::kSpeedLimit25MphMps)),
       FigureKind::Constitution, opts.csv);
 
   // (c) closed, 25 mph, denser deployment (region scaled to 0.6 => area -64%).
-  const auto closed25 = bench::run_and_report(
+  const auto closed25 = experiment::run_and_report(
       "Fig. 4(c) — Alg. 3 closed system, 25 mph, region scaled 0.6 (denser checkpoints)",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Closed,
                                                     util::kSpeedLimit25MphMps, 0.6)),
       FigureKind::Constitution, opts.csv);
 
   // Closed 15 mph baseline (Fig. 2(c)) for the comparisons the paper makes.
-  const auto closed15 = bench::run_and_report(
+  const auto closed15 = experiment::run_and_report(
       "Reference — Alg. 3 closed system, 15 mph (Fig. 2(c) baseline)",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Closed,
                                                     util::kSpeedLimit15MphMps)),
       FigureKind::Constitution, opts.csv);
 
@@ -69,5 +72,9 @@ int main(int argc, char** argv) {
             << util::format(
                    "(a) vs Fig.2(c): open is %.0f%% slower on average   [paper: limited gap]\n",
                    -a_vs_fig2c.avg_improvement_pct);
-  return 0;
+  const bool all_ok = experiment::all_cells_ok(open15, FigureKind::Constitution) &&
+                      experiment::all_cells_ok(open25, FigureKind::Constitution) &&
+                      experiment::all_cells_ok(closed25, FigureKind::Constitution) &&
+                      experiment::all_cells_ok(closed15, FigureKind::Constitution);
+  return all_ok ? 0 : 1;
 }

@@ -6,41 +6,44 @@
 //       (25 mph, region scale 0.6) — paper: up to 57% quicker than
 //       Fig. 3(c).
 // A closed 15 mph baseline quantifies the comparisons.
-#include "figure_common.hpp"
+#include <iostream>
+
+#include "experiment/harness.hpp"
+#include "util/units.hpp"
 #include "util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace ivc;
-  bench::FigureOptions opts;
-  if (!bench::parse_figure_options(
+  experiment::HarnessOptions opts;
+  if (const auto exit_code = experiment::parse_harness_options(
           argc, argv, "fig5_open_collection",
           "Fig. 5: seeds fetch the complete status, open system + speedups", &opts)) {
-    return 1;
+    return *exit_code;
   }
   using experiment::FigureKind;
   using experiment::SystemMode;
 
-  const auto open15 = bench::run_and_report(
+  const auto open15 = experiment::run_and_report(
       "Fig. 5(a) — seeds fetch complete status (min), open system, 15 mph",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Open,
                                                     util::kSpeedLimit15MphMps)),
       FigureKind::Collection, opts.csv);
 
-  const auto open25 = bench::run_and_report(
+  const auto open25 = experiment::run_and_report(
       "Fig. 5(b) — same after speed limit lifted to 25 mph",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Open,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Open,
                                                     util::kSpeedLimit25MphMps)),
       FigureKind::Collection, opts.csv);
 
-  const auto closed25 = bench::run_and_report(
+  const auto closed25 = experiment::run_and_report(
       "Fig. 5(c) — Alg. 3+4 closed system, 25 mph, region scaled 0.6",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Closed,
                                                     util::kSpeedLimit25MphMps, 0.6)),
       FigureKind::Collection, opts.csv);
 
-  const auto closed15 = bench::run_and_report(
+  const auto closed15 = experiment::run_and_report(
       "Reference — Alg. 3+4 closed system, 15 mph (Fig. 3(c) baseline)",
-      bench::make_sweep(opts, bench::paper_scenario(SystemMode::Closed,
+      experiment::make_sweep(opts, experiment::paper_scenario(SystemMode::Closed,
                                                     util::kSpeedLimit15MphMps)),
       FigureKind::Collection, opts.csv);
 
@@ -56,5 +59,9 @@ int main(int argc, char** argv) {
             << util::format(
                    "(c) vs Fig.3(c): up to %.0f%% quicker (avg %.0f%%)   [paper: up to 57%%]\n",
                    c_vs_fig3c.max_improvement_pct, c_vs_fig3c.avg_improvement_pct);
-  return 0;
+  const bool all_ok = experiment::all_cells_ok(open15, FigureKind::Collection) &&
+                      experiment::all_cells_ok(open25, FigureKind::Collection) &&
+                      experiment::all_cells_ok(closed25, FigureKind::Collection) &&
+                      experiment::all_cells_ok(closed15, FigureKind::Collection);
+  return all_ok ? 0 : 1;
 }

@@ -14,6 +14,11 @@
 namespace ivc::experiment {
 
 std::string ScenarioConfig::describe() const {
+  if (map_factory) {
+    return util::format("%s %s vol=%.0f%% seeds=%d loss=%.0f%%", map_name.c_str(),
+                        mode == SystemMode::Closed ? "closed" : "open", volume_pct,
+                        num_seeds, protocol.channel_loss * 100.0);
+  }
   return util::format("%s vol=%.0f%% seeds=%d loss=%.0f%% grid=%dx%d speed=%.1fmps",
                       mode == SystemMode::Closed ? "closed" : "open", volume_pct, num_seeds,
                       protocol.channel_loss * 100.0, map.streets, map.avenues,
@@ -25,9 +30,15 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   RunMetrics metrics;
 
   // --- build the world -------------------------------------------------------
-  roadnet::ManhattanConfig map = config.map;
-  map.gateway_stride = config.mode == SystemMode::Open ? config.gateway_stride : 0;
-  const roadnet::RoadNetwork net = roadnet::make_manhattan_grid(map);
+  const int stride = config.mode == SystemMode::Open ? config.gateway_stride : 0;
+  roadnet::RoadNetwork net;
+  if (config.map_factory) {
+    net = config.map_factory(stride);
+  } else {
+    roadnet::ManhattanConfig map = config.map;
+    map.gateway_stride = stride;
+    net = roadnet::make_manhattan_grid(map);
+  }
 
   traffic::SimConfig sim = config.sim;
   sim.seed = util::derive_seed(config.seed, "engine");

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "counting/config.hpp"
@@ -25,6 +26,13 @@ enum class SystemMode {
 
 struct ScenarioConfig {
   roadnet::ManhattanConfig map;
+  // Optional topology override (the scenario zoo): when set, the runner
+  // builds the network from this factory instead of the Manhattan grid.
+  // The factory receives the effective gateway stride (0 when the system
+  // runs closed) so every zoo topology supports both modes.
+  std::function<roadnet::RoadNetwork(int gateway_stride)> map_factory;
+  // Topology label for tables/describe(); "manhattan" unless a factory is set.
+  std::string map_name = "manhattan";
   SystemMode mode = SystemMode::Closed;
   // Gateways per border stride when open (passed to the generator).
   int gateway_stride = 4;

@@ -1,0 +1,296 @@
+#include "roadnet/zoo.hpp"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "roadnet/builder.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace ivc::roadnet {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void add_gateway_pair(NetworkBuilder& builder, NodeId node, double speed_limit) {
+  RoadSpec spec;
+  spec.lanes = 1;
+  spec.speed_limit = speed_limit;
+  builder.add_inbound_gateway(node, spec);
+  builder.add_outbound_gateway(node, spec);
+}
+
+}  // namespace
+
+RoadNetwork make_ring_radial(const RingRadialConfig& config) {
+  IVC_ASSERT(config.rings >= 1 && config.spokes >= 3);
+  IVC_ASSERT(config.inner_radius > 1.0 && config.ring_gap > 1.0);
+  NetworkBuilder builder;
+
+  RoadSpec ring_spec;
+  ring_spec.lanes = config.ring_lanes;
+  ring_spec.speed_limit = config.speed_limit;
+  RoadSpec spoke_spec;
+  spoke_spec.lanes = config.spoke_lanes;
+  spoke_spec.speed_limit = config.speed_limit;
+
+  const NodeId center = builder.add_intersection(
+      {0.0, 0.0},
+      config.roundabout_center ? IntersectionKind::Roundabout : IntersectionKind::Standard,
+      "plaza");
+
+  // nodes[r][s]: ring r (0 = innermost), spoke position s.
+  std::vector<std::vector<NodeId>> nodes(static_cast<std::size_t>(config.rings));
+  for (int r = 0; r < config.rings; ++r) {
+    const double radius = config.inner_radius + static_cast<double>(r) * config.ring_gap;
+    for (int s = 0; s < config.spokes; ++s) {
+      const double angle = 2.0 * kPi * static_cast<double>(s) / config.spokes;
+      nodes[static_cast<std::size_t>(r)].push_back(builder.add_intersection(
+          {radius * std::cos(angle), radius * std::sin(angle)}, IntersectionKind::Standard,
+          util::format("ring%d/%d", r, s)));
+    }
+  }
+
+  // Ring roads: consecutive nodes on each ring. One-way rings alternate
+  // direction per ring; two-way spokes below keep everything reachable.
+  for (int r = 0; r < config.rings; ++r) {
+    const auto& ring = nodes[static_cast<std::size_t>(r)];
+    for (int s = 0; s < config.spokes; ++s) {
+      const NodeId a = ring[static_cast<std::size_t>(s)];
+      const NodeId b = ring[static_cast<std::size_t>((s + 1) % config.spokes)];
+      if (!config.one_way_rings) {
+        builder.add_two_way(a, b, ring_spec);
+      } else if (r % 2 == 0) {
+        builder.add_one_way(a, b, ring_spec);
+      } else {
+        builder.add_one_way(b, a, ring_spec);
+      }
+    }
+  }
+
+  // Spokes: center to innermost ring, then ring r to ring r+1, all two-way.
+  for (int s = 0; s < config.spokes; ++s) {
+    builder.add_two_way(center, nodes[0][static_cast<std::size_t>(s)], spoke_spec);
+    for (int r = 0; r + 1 < config.rings; ++r) {
+      builder.add_two_way(nodes[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                          nodes[static_cast<std::size_t>(r + 1)][static_cast<std::size_t>(s)],
+                          spoke_spec);
+    }
+  }
+
+  if (config.gateway_stride > 0) {
+    const auto& outer = nodes[static_cast<std::size_t>(config.rings - 1)];
+    for (std::size_t s = 0; s < outer.size();
+         s += static_cast<std::size_t>(config.gateway_stride)) {
+      add_gateway_pair(builder, outer[s], config.speed_limit);
+    }
+  }
+
+  return builder.build();
+}
+
+RoadNetwork make_highway_corridor(const HighwayConfig& config) {
+  IVC_ASSERT(config.interchanges >= 2);
+  IVC_ASSERT(config.link_every >= 1);
+  NetworkBuilder builder;
+
+  RoadSpec mainline_spec;
+  mainline_spec.lanes = config.mainline_lanes;
+  mainline_spec.speed_limit = config.mainline_speed;
+  RoadSpec ramp_spec;
+  ramp_spec.lanes = config.ramp_lanes;
+  ramp_spec.speed_limit = config.ramp_speed;
+
+  const int n = config.interchanges;
+  std::vector<NodeId> east(static_cast<std::size_t>(n));
+  std::vector<NodeId> west(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) * config.interchange_spacing;
+    east[static_cast<std::size_t>(i)] = builder.add_intersection(
+        {x, 0.0}, IntersectionKind::Standard, util::format("E%d", i));
+    west[static_cast<std::size_t>(i)] = builder.add_intersection(
+        {x, config.carriageway_gap}, IntersectionKind::Standard, util::format("W%d", i));
+  }
+
+  // Mainlines: eastbound along `east`, westbound along `west`.
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.add_one_way(east[static_cast<std::size_t>(i)],
+                        east[static_cast<std::size_t>(i + 1)], mainline_spec);
+    builder.add_one_way(west[static_cast<std::size_t>(i + 1)],
+                        west[static_cast<std::size_t>(i)], mainline_spec);
+  }
+
+  // Interchange crossing links (ramps). The two corridor ends always get
+  // one, or the mainline chains would be dead ends.
+  const auto linked = [&](int i) {
+    return i == 0 || i == n - 1 || i % config.link_every == 0;
+  };
+  std::vector<int> interchange_indices;
+  for (int i = 0; i < n; ++i) {
+    if (!linked(i)) continue;
+    builder.add_two_way(east[static_cast<std::size_t>(i)],
+                        west[static_cast<std::size_t>(i)], ramp_spec);
+    interchange_indices.push_back(i);
+  }
+
+  if (config.gateway_stride > 0) {
+    for (std::size_t k = 0; k < interchange_indices.size();
+         k += static_cast<std::size_t>(config.gateway_stride)) {
+      const auto i = static_cast<std::size_t>(interchange_indices[k]);
+      add_gateway_pair(builder, east[i], config.ramp_speed);
+      add_gateway_pair(builder, west[i], config.ramp_speed);
+    }
+  }
+
+  return builder.build();
+}
+
+RoadNetwork make_roundabout_town(const RoundaboutTownConfig& config) {
+  IVC_ASSERT(config.rows >= 2 && config.cols >= 2);
+  IVC_ASSERT(config.roundabout_stride >= 1);
+  NetworkBuilder builder;
+
+  RoadSpec spec;
+  spec.lanes = config.lanes;
+  spec.speed_limit = config.speed_limit;
+
+  std::vector<NodeId> nodes(static_cast<std::size_t>(config.rows) *
+                            static_cast<std::size_t>(config.cols));
+  const auto at = [&](int r, int c) -> NodeId& {
+    return nodes[static_cast<std::size_t>(r) * static_cast<std::size_t>(config.cols) +
+                 static_cast<std::size_t>(c)];
+  };
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      const int index = r * config.cols + c;
+      const IntersectionKind kind = index % config.roundabout_stride == 0
+                                        ? IntersectionKind::Roundabout
+                                        : IntersectionKind::Standard;
+      at(r, c) = builder.add_intersection(
+          {static_cast<double>(c) * config.spacing, static_cast<double>(r) * config.spacing},
+          kind, util::format("rb%d/%d", r, c));
+    }
+  }
+
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c + 1 < config.cols; ++c) {
+      builder.add_two_way(at(r, c), at(r, c + 1), spec);
+    }
+  }
+  for (int c = 0; c < config.cols; ++c) {
+    for (int r = 0; r + 1 < config.rows; ++r) {
+      builder.add_two_way(at(r, c), at(r + 1, c), spec);
+    }
+  }
+
+  if (config.gateway_stride > 0) {
+    std::vector<NodeId> perimeter;
+    for (int c = 0; c < config.cols; ++c) perimeter.push_back(at(0, c));
+    for (int r = 1; r < config.rows; ++r) perimeter.push_back(at(r, config.cols - 1));
+    for (int c = config.cols - 2; c >= 0; --c) perimeter.push_back(at(config.rows - 1, c));
+    for (int r = config.rows - 2; r >= 1; --r) perimeter.push_back(at(r, 0));
+    for (std::size_t i = 0; i < perimeter.size();
+         i += static_cast<std::size_t>(config.gateway_stride)) {
+      add_gateway_pair(builder, perimeter[i], config.speed_limit);
+    }
+  }
+
+  return builder.build();
+}
+
+RoadNetwork make_random_web(const RandomWebConfig& config) {
+  IVC_ASSERT(config.nodes >= 3);
+  IVC_ASSERT(config.radius > 10.0);
+  IVC_ASSERT(config.extra_edge_factor >= 0.0);
+  NetworkBuilder builder;
+  util::Rng rng(util::derive_seed(config.seed, "random-web"));
+
+  RoadSpec spec;
+  spec.lanes = config.lanes;
+  spec.speed_limit = config.speed_limit;
+
+  // Scatter nodes in the disc, rejecting placements closer than a minimum
+  // separation so segments stay longer than a vehicle. Deterministic: the
+  // rejection loop draws from the same seeded stream.
+  const auto n = static_cast<std::size_t>(config.nodes);
+  const double min_separation = std::max(25.0, config.radius / std::sqrt(static_cast<double>(n)) / 2.0);
+  std::vector<geom::Vec2> positions;
+  positions.reserve(n);
+  while (positions.size() < n) {
+    geom::Vec2 p;
+    bool ok = false;
+    for (int attempt = 0; attempt < 64 && !ok; ++attempt) {
+      const double angle = rng.uniform(0.0, 2.0 * kPi);
+      const double radius = config.radius * std::sqrt(rng.uniform());
+      p = {radius * std::cos(angle), radius * std::sin(angle)};
+      ok = true;
+      for (const auto& q : positions) {
+        const double dx = p.x - q.x;
+        const double dy = p.y - q.y;
+        if (dx * dx + dy * dy < min_separation * min_separation) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    positions.push_back(p);  // accept the last attempt even if crowded
+  }
+
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(builder.add_intersection(positions[i], IntersectionKind::Standard,
+                                             util::format("web%zu", i)));
+  }
+
+  // Base structure: a one-way Hamiltonian cycle over a random permutation.
+  // This alone makes the graph strongly connected; chords only add routes.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order.begin(), order.end());
+
+  const auto pack = [n](std::size_t u, std::size_t v) { return u * n + v; };
+  std::unordered_set<std::size_t> present;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t u = order[i];
+    const std::size_t v = order[(i + 1) % n];
+    builder.add_one_way(nodes[u], nodes[v], spec);
+    present.insert(pack(u, v));
+  }
+
+  // Random chords. Bounded attempts keep the loop terminating even when the
+  // requested density approaches a complete graph.
+  const auto target_extra = static_cast<std::size_t>(
+      static_cast<double>(n) * config.extra_edge_factor);
+  std::size_t added = 0;
+  for (std::size_t attempt = 0; attempt < target_extra * 16 && added < target_extra;
+       ++attempt) {
+    const std::size_t u = rng.uniform_index(n);
+    const std::size_t v = rng.uniform_index(n);
+    if (u == v) continue;
+    const bool two_way = rng.bernoulli(config.two_way_fraction);
+    if (present.count(pack(u, v)) || (two_way && present.count(pack(v, u)))) continue;
+    if (two_way) {
+      builder.add_two_way(nodes[u], nodes[v], spec);
+      present.insert(pack(u, v));
+      present.insert(pack(v, u));
+    } else {
+      builder.add_one_way(nodes[u], nodes[v], spec);
+      present.insert(pack(u, v));
+    }
+    ++added;
+  }
+
+  if (config.gateway_stride > 0) {
+    for (std::size_t i = 0; i < n; i += static_cast<std::size_t>(config.gateway_stride)) {
+      add_gateway_pair(builder, nodes[i], config.speed_limit);
+    }
+  }
+
+  return builder.build();
+}
+
+}  // namespace ivc::roadnet

@@ -1,0 +1,106 @@
+// Scenario zoo: parameterized road-network generators beyond the Manhattan
+// grid of the paper's evaluation.
+//
+// The paper only evaluates the counting protocol on a midtown-Manhattan
+// grid, but its claims hold for any strongly-connected road system. These
+// generators cover the structural regimes that related work shows matter
+// for probe-based counting: ring/radial European-style cities, limited-
+// access highway corridors with ramps, roundabout-heavy towns (multi-target
+// admission), and irregular random "web" networks. Every generator returns
+// a validated, strongly-connected RoadNetwork, and every generator accepts
+// a `gateway_stride` so each topology supports both closed (paper Figs.
+// 2/3) and open (Figs. 4/5) operation.
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_network.hpp"
+#include "util/units.hpp"
+
+namespace ivc::roadnet {
+
+// Concentric ring roads joined by radial spokes around a central plaza —
+// the classic European ring/radial city (Vienna's Ringstrasse, Moscow's
+// ring roads). Stresses the protocol with highly unequal node degrees:
+// the center sees every spoke, outer-ring nodes see three roads.
+struct RingRadialConfig {
+  int rings = 4;    // concentric rings around the center
+  int spokes = 10;  // radial roads (also nodes per ring)
+  double inner_radius = 220.0;  // m, center to first ring
+  double ring_gap = 220.0;      // m between consecutive rings
+  double speed_limit = util::kSpeedLimit15MphMps;
+  int ring_lanes = 2;
+  int spoke_lanes = 2;
+  // Central plaza operates as a roundabout (multi-target tracking).
+  bool roundabout_center = true;
+  // One-way rings alternating direction per ring (inner CW, next CCW, ...);
+  // spokes stay two-way, which keeps the system strongly connected.
+  bool one_way_rings = false;
+  // Open system: gateway in+out pair on every k-th outermost-ring node.
+  int gateway_stride = 0;
+};
+
+[[nodiscard]] RoadNetwork make_ring_radial(const RingRadialConfig& config);
+
+// A limited-access dual carriageway: two opposing one-way chains of
+// mainline nodes with two-way interchange links (ramps) every few nodes.
+// The sparsest topology in the zoo — long stretches where a label can only
+// move forward, and U-turns are only possible at interchanges.
+struct HighwayConfig {
+  int interchanges = 8;              // mainline nodes per carriageway
+  double interchange_spacing = 800.0;  // m between consecutive mainline nodes
+  double carriageway_gap = 60.0;       // m between the two carriageways
+  double mainline_speed = util::mph_to_mps(55.0);
+  double ramp_speed = util::kSpeedLimit25MphMps;
+  int mainline_lanes = 3;
+  int ramp_lanes = 1;
+  // Every k-th node pair gets a two-way crossing link; the first and last
+  // pairs always do (required for strong connectivity).
+  int link_every = 2;
+  // Open system: gateway in+out pairs on both carriageways of every k-th
+  // linked interchange (traffic joining/leaving the corridor).
+  int gateway_stride = 0;
+};
+
+[[nodiscard]] RoadNetwork make_highway_corridor(const HighwayConfig& config);
+
+// A grid town where intersections are roundabouts: every node admits one
+// vehicle per approach per step (IntersectionKind::Roundabout), unlike the
+// Manhattan grid's mostly-Standard nodes. All roads are two-way.
+struct RoundaboutTownConfig {
+  int rows = 6;
+  int cols = 6;
+  double spacing = 240.0;  // m between adjacent intersections
+  double speed_limit = util::kSpeedLimit15MphMps;
+  int lanes = 1;
+  // Every k-th intersection (row-major) is a roundabout; 1 = all of them.
+  int roundabout_stride = 1;
+  // Open system: gateway in+out pair on every k-th perimeter node.
+  int gateway_stride = 0;
+};
+
+[[nodiscard]] RoadNetwork make_roundabout_town(const RoundaboutTownConfig& config);
+
+// A random strongly-connected "web": nodes scattered in a disc, a random
+// one-way Hamiltonian cycle guaranteeing strong connectivity, plus extra
+// random one-way/two-way chords. Deterministic for a given seed. This is
+// the adversarial end of the zoo — no regularity for the protocol to lean
+// on, arbitrary in/out degree imbalance (the paper's n_i(u) != n_o(u)).
+struct RandomWebConfig {
+  int nodes = 48;
+  double radius = 900.0;  // m, placement disc
+  // Extra directed chords added beyond the base cycle, as a multiple of the
+  // node count (average extra out-degree).
+  double extra_edge_factor = 1.5;
+  // Probability that an extra chord is a two-way road.
+  double two_way_fraction = 0.5;
+  double speed_limit = util::kSpeedLimit15MphMps;
+  int lanes = 1;
+  std::uint64_t seed = 2014;
+  // Open system: gateway in+out pair on every k-th node (by id).
+  int gateway_stride = 0;
+};
+
+[[nodiscard]] RoadNetwork make_random_web(const RandomWebConfig& config);
+
+}  // namespace ivc::roadnet

@@ -119,10 +119,11 @@ TEST(Sweep, ProgressCallbackCoversAllJobs) {
   sweep.replicas = 3;
   sweep.base = tiny_config();
   std::size_t last_done = 0, total = 0;
-  run_sweep(sweep, [&](std::size_t done, std::size_t all) {
+  const auto cells = run_sweep(sweep, [&](std::size_t done, std::size_t all) {
     last_done = std::max(last_done, done);
     total = all;
   });
+  EXPECT_EQ(cells.size(), 1u);
   EXPECT_EQ(last_done, 3u);
   EXPECT_EQ(total, 3u);
 }

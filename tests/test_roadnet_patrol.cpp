@@ -26,7 +26,9 @@ void expect_valid_cover(const RoadNetwork& net, NodeId start) {
   std::vector<bool> covered(net.num_segments(), false);
   for (const EdgeId e : route.edges) covered[e.value()] = true;
   for (const auto& seg : net.segments()) {
-    if (!seg.is_gateway()) EXPECT_TRUE(covered[seg.id.value()]);
+    if (!seg.is_gateway()) {
+      EXPECT_TRUE(covered[seg.id.value()]);
+    }
   }
 }
 

@@ -1,0 +1,225 @@
+// Scenario-zoo generators: structure, connectivity, determinism, gateways.
+#include <gtest/gtest.h>
+
+#include "roadnet/graph.hpp"
+#include "roadnet/zoo.hpp"
+
+namespace ivc::roadnet {
+namespace {
+
+std::size_t count_gateways(const RoadNetwork& net, bool inbound) {
+  std::size_t n = 0;
+  for (const auto& seg : net.segments()) {
+    if (inbound ? seg.is_inbound_gateway() : seg.is_outbound_gateway()) ++n;
+  }
+  return n;
+}
+
+// --- ring/radial ------------------------------------------------------------
+
+TEST(RingRadial, NodeCountAndConnectivity) {
+  RingRadialConfig c;
+  c.rings = 3;
+  c.spokes = 8;
+  const RoadNetwork net = make_ring_radial(c);
+  EXPECT_EQ(net.num_intersections(), 1u + 3u * 8u);  // center + rings
+  EXPECT_TRUE(is_strongly_connected(net));
+  EXPECT_FALSE(net.is_open_system());
+}
+
+TEST(RingRadial, CenterIsRoundaboutWithSpokeDegree) {
+  RingRadialConfig c;
+  c.rings = 2;
+  c.spokes = 6;
+  const RoadNetwork net = make_ring_radial(c);
+  const Intersection& center = net.intersection(NodeId{0});
+  EXPECT_EQ(center.kind, IntersectionKind::Roundabout);
+  EXPECT_EQ(center.out_edges.size(), 6u);
+  EXPECT_EQ(center.in_edges.size(), 6u);
+}
+
+TEST(RingRadial, OneWayRingsStayStronglyConnected) {
+  RingRadialConfig c;
+  c.rings = 4;
+  c.spokes = 7;
+  c.one_way_rings = true;
+  const RoadNetwork net = make_ring_radial(c);
+  EXPECT_TRUE(is_strongly_connected(net));
+  // Some ring edge must be one-way now.
+  bool saw_one_way = false;
+  for (const auto& seg : net.segments()) saw_one_way = saw_one_way || seg.one_way();
+  EXPECT_TRUE(saw_one_way);
+}
+
+TEST(RingRadial, GatewaysOnOuterRingOnly) {
+  RingRadialConfig c;
+  c.rings = 2;
+  c.spokes = 8;
+  c.gateway_stride = 2;
+  const RoadNetwork net = make_ring_radial(c);
+  EXPECT_TRUE(net.is_open_system());
+  EXPECT_EQ(count_gateways(net, true), 4u);   // 8 outer nodes / stride 2
+  EXPECT_EQ(count_gateways(net, false), 4u);
+  for (const NodeId border : net.border_intersections()) {
+    // Outer ring nodes are the last `spokes` interior ids.
+    EXPECT_GE(border.value(), 1u + 8u);
+  }
+}
+
+// --- highway corridor -------------------------------------------------------
+
+TEST(Highway, StronglyConnectedWithSparseLinks) {
+  HighwayConfig c;
+  c.interchanges = 9;
+  c.link_every = 3;
+  const RoadNetwork net = make_highway_corridor(c);
+  EXPECT_EQ(net.num_intersections(), 18u);
+  EXPECT_TRUE(is_strongly_connected(net));
+}
+
+TEST(Highway, MainlinesAreOneWayOpposed) {
+  HighwayConfig c;
+  c.interchanges = 4;
+  c.link_every = 4;  // links only at the forced ends
+  const RoadNetwork net = make_highway_corridor(c);
+  // East mainline: E0 (id 0) -> E1 (id 2); no reverse.
+  EXPECT_TRUE(net.edge_between(NodeId{0}, NodeId{2}).has_value());
+  EXPECT_FALSE(net.edge_between(NodeId{2}, NodeId{0}).has_value());
+  // West mainline: W1 (id 3) -> W0 (id 1).
+  EXPECT_TRUE(net.edge_between(NodeId{3}, NodeId{1}).has_value());
+  EXPECT_FALSE(net.edge_between(NodeId{1}, NodeId{3}).has_value());
+}
+
+TEST(Highway, EndsAlwaysLinkedEvenWithHugeStride) {
+  HighwayConfig c;
+  c.interchanges = 5;
+  c.link_every = 100;  // would never trigger on its own
+  const RoadNetwork net = make_highway_corridor(c);
+  EXPECT_TRUE(is_strongly_connected(net));
+}
+
+TEST(Highway, RampGatewaysOnBothCarriageways) {
+  HighwayConfig c;
+  c.interchanges = 6;
+  c.link_every = 2;
+  c.gateway_stride = 1;
+  const RoadNetwork net = make_highway_corridor(c);
+  EXPECT_TRUE(net.is_open_system());
+  // Linked interchanges: 0, 2, 4, 5 -> 4 of them, in+out on E and W sides.
+  EXPECT_EQ(count_gateways(net, true), 8u);
+  EXPECT_EQ(count_gateways(net, false), 8u);
+}
+
+// --- roundabout town --------------------------------------------------------
+
+TEST(RoundaboutTown, AllNodesRoundaboutAndConnected) {
+  RoundaboutTownConfig c;
+  c.rows = 4;
+  c.cols = 5;
+  const RoadNetwork net = make_roundabout_town(c);
+  EXPECT_EQ(net.num_intersections(), 20u);
+  EXPECT_TRUE(is_strongly_connected(net));
+  for (const auto& node : net.intersections()) {
+    EXPECT_EQ(node.kind, IntersectionKind::Roundabout);
+  }
+}
+
+TEST(RoundaboutTown, StrideMixesStandardNodes) {
+  RoundaboutTownConfig c;
+  c.rows = 3;
+  c.cols = 3;
+  c.roundabout_stride = 2;
+  const RoadNetwork net = make_roundabout_town(c);
+  std::size_t roundabouts = 0;
+  for (const auto& node : net.intersections()) {
+    if (node.kind == IntersectionKind::Roundabout) ++roundabouts;
+  }
+  EXPECT_EQ(roundabouts, 5u);  // even row-major indices of 9 nodes
+}
+
+TEST(RoundaboutTown, PerimeterGateways) {
+  RoundaboutTownConfig c;
+  c.rows = 4;
+  c.cols = 4;
+  c.gateway_stride = 3;
+  const RoadNetwork net = make_roundabout_town(c);
+  EXPECT_TRUE(net.is_open_system());
+  // 12 perimeter nodes, every 3rd -> 4 gateway pairs.
+  EXPECT_EQ(count_gateways(net, true), 4u);
+  EXPECT_EQ(count_gateways(net, false), 4u);
+}
+
+// --- random web -------------------------------------------------------------
+
+TEST(RandomWeb, StronglyConnectedAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 2014ull}) {
+    RandomWebConfig c;
+    c.nodes = 30;
+    c.seed = seed;
+    const RoadNetwork net = make_random_web(c);
+    EXPECT_EQ(net.num_intersections(), 30u);
+    EXPECT_TRUE(is_strongly_connected(net));
+  }
+}
+
+TEST(RandomWeb, SeedDeterminism) {
+  RandomWebConfig c;
+  c.nodes = 25;
+  c.seed = 99;
+  const RoadNetwork a = make_random_web(c);
+  const RoadNetwork b = make_random_web(c);
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  for (std::size_t i = 0; i < a.num_segments(); ++i) {
+    const Segment& sa = a.segment(EdgeId{static_cast<std::uint32_t>(i)});
+    const Segment& sb = b.segment(EdgeId{static_cast<std::uint32_t>(i)});
+    EXPECT_EQ(sa.from, sb.from);
+    EXPECT_EQ(sa.to, sb.to);
+    EXPECT_DOUBLE_EQ(sa.length, sb.length);
+  }
+  for (std::size_t i = 0; i < a.num_intersections(); ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.intersection(id).position, b.intersection(id).position);
+  }
+}
+
+TEST(RandomWeb, DifferentSeedsDiffer) {
+  RandomWebConfig c;
+  c.nodes = 25;
+  c.seed = 1;
+  const RoadNetwork a = make_random_web(c);
+  c.seed = 2;
+  const RoadNetwork b = make_random_web(c);
+  bool differs = a.num_segments() != b.num_segments();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.num_segments() && !differs; ++i) {
+      const Segment& sa = a.segment(EdgeId{static_cast<std::uint32_t>(i)});
+      const Segment& sb = b.segment(EdgeId{static_cast<std::uint32_t>(i)});
+      differs = sa.from != sb.from || sa.to != sb.to;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomWeb, ChordDensityRespondsToFactor) {
+  RandomWebConfig c;
+  c.nodes = 30;
+  c.extra_edge_factor = 0.0;
+  const RoadNetwork cycle_only = make_random_web(c);
+  EXPECT_EQ(cycle_only.num_segments(), 30u);  // exactly the Hamiltonian cycle
+  c.extra_edge_factor = 2.0;
+  const RoadNetwork dense = make_random_web(c);
+  EXPECT_GT(dense.num_segments(), cycle_only.num_segments() + 30u);
+}
+
+TEST(RandomWeb, GatewayStride) {
+  RandomWebConfig c;
+  c.nodes = 24;
+  c.gateway_stride = 6;
+  const RoadNetwork net = make_random_web(c);
+  EXPECT_TRUE(net.is_open_system());
+  EXPECT_EQ(count_gateways(net, true), 4u);
+  EXPECT_EQ(count_gateways(net, false), 4u);
+}
+
+}  // namespace
+}  // namespace ivc::roadnet
