@@ -11,6 +11,8 @@
 //   ivc_bench --figure fig2               # a paper figure sweep
 //   ivc_bench --scenario ring-radial-open-rush
 //   ivc_bench --all-scenarios --smoke     # CI: every zoo scenario in seconds
+//   ivc_bench --perf                      # perf run -> BENCH_pr2.json
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,6 +21,7 @@
 #include "experiment/harness.hpp"
 #include "experiment/registry.hpp"
 #include "util/csv.hpp"
+#include "util/perf.hpp"
 #include "util/string_util.hpp"
 #include "util/units.hpp"
 
@@ -122,6 +125,151 @@ struct RunRequest {
   experiment::FigureKind kind;
 };
 
+// ---- --perf mode -----------------------------------------------------------
+//
+// Serial single-run-per-scenario perf harness. Each named scenario is run
+// once at its registry operating point with a PerfCollector attached; the
+// results land in a JSON report (BENCH_pr2.json by default) whose schema is
+// documented in README.md ("Perf JSON schema"). Correctness still gates the
+// exit code: a run that fails to converge or miscounts fails the bench, so
+// the CI perf-smoke job doubles as an end-to-end sanity check.
+
+// Default scenarios: one per regime the hot loops care about — closed grid
+// at peak density, open grid with boundary churn, open zoo topology at
+// rush volume, and the irregular web with a patrol fleet.
+constexpr const char* kDefaultPerfScenarios =
+    "manhattan-closed-rush,manhattan-open-steady,ring-radial-open-rush,"
+    "random-web-closed-steady";
+
+struct PerfRun {
+  const experiment::NamedScenario* entry = nullptr;
+  experiment::RunMetrics metrics;
+  ivc::util::PerfCollector collector;
+};
+
+void write_perf_json(std::ostream& out, const std::vector<PerfRun>& runs, bool smoke) {
+  out << "{\n";
+  out << "  \"schema\": \"ivc-perf-v1\",\n";
+  out << "  \"bench\": \"ivc_bench --perf\",\n";
+  out << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  out << "  \"peak_rss_bytes\": " << util::peak_rss_bytes() << ",\n";
+  out << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const auto& m = run.metrics;
+    const double wall = m.wall_seconds > 0.0 ? m.wall_seconds : 1e-9;
+    out << "    {\n";
+    out << "      \"name\": \"" << run.entry->name << "\",\n";
+    out << util::format("      \"steps\": %llu,\n",
+                        static_cast<unsigned long long>(m.steps));
+    out << util::format("      \"sim_minutes\": %.3f,\n", m.sim_minutes);
+    out << util::format("      \"wall_seconds\": %.6f,\n", m.wall_seconds);
+    out << util::format("      \"steps_per_sec\": %.1f,\n",
+                        static_cast<double>(m.steps) / wall);
+    out << util::format("      \"events\": %llu,\n",
+                        static_cast<unsigned long long>(m.sim_events));
+    out << util::format("      \"events_per_sec\": %.1f,\n",
+                        static_cast<double>(m.sim_events) / wall);
+    out << util::format("      \"transits\": %llu,\n",
+                        static_cast<unsigned long long>(m.transits));
+    out << util::format("      \"total_spawned\": %llu,\n",
+                        static_cast<unsigned long long>(m.total_spawned));
+    out << util::format("      \"peak_vehicle_slots\": %zu,\n", m.peak_vehicle_slots);
+    out << util::format("      \"population_final\": %lld,\n",
+                        static_cast<long long>(m.truth));
+    out << "      \"converged\": " << (m.constitution_converged ? "true" : "false")
+        << ",\n";
+    out << "      \"exact\": " << (m.total_exact ? "true" : "false") << ",\n";
+    out << "      \"phases\": [\n";
+    const auto& phases = run.collector.phases();
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      const auto phase = static_cast<util::PerfPhase>(p);
+      out << util::format("        {\"phase\": \"%s\", \"calls\": %llu, "
+                          "\"seconds\": %.6f}%s\n",
+                          util::perf_phase_name(phase),
+                          static_cast<unsigned long long>(phases[p].calls),
+                          phases[p].seconds(), p + 1 < phases.size() ? "," : "");
+    }
+    out << "      ]\n";
+    out << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+int run_perf_mode(const experiment::HarnessOptions& opts, const std::string& scenarios_csv,
+                  const std::string& out_path) {
+  const auto& registry = experiment::ScenarioRegistry::builtin();
+  const auto scale =
+      opts.smoke ? experiment::ScenarioScale::Smoke : experiment::ScenarioScale::Full;
+
+  std::vector<PerfRun> runs;
+  for (const auto& token : util::split(scenarios_csv, ',')) {
+    const std::string name{util::trim(token)};
+    if (name.empty()) continue;
+    const auto* entry = registry.find(name);
+    if (entry == nullptr) {
+      std::cerr << "ivc_bench: unknown perf scenario '" << name << "' (see --list)\n";
+      return 1;
+    }
+    const bool duplicate = std::any_of(runs.begin(), runs.end(), [entry](const PerfRun& r) {
+      return r.entry == entry;
+    });
+    if (duplicate) {
+      std::cerr << "ivc_bench: perf scenario '" << name << "' listed twice\n";
+      return 1;
+    }
+    runs.emplace_back();
+    runs.back().entry = entry;
+  }
+  if (runs.size() < 3) {
+    std::cerr << "ivc_bench: --perf needs at least 3 distinct scenarios for a trajectory\n";
+    return 1;
+  }
+
+  bool all_ok = true;
+  util::TextTable table({"scenario", "steps", "steps/s", "events/s", "peak veh",
+                         "spawned", "wall s", "ok"});
+  for (auto& run : runs) {
+    const auto* entry = run.entry;
+    experiment::ScenarioConfig scenario = entry->make(scale);
+    scenario.seed = static_cast<std::uint64_t>(opts.seed);
+    if (opts.time_limit_min > 0) {
+      scenario.time_limit_minutes = static_cast<double>(opts.time_limit_min);
+    }
+    scenario.perf = &run.collector;
+    std::cerr << "perf: " << run.entry->name << " (" << scenario.describe() << ")\n";
+    run.metrics = experiment::run_scenario(scenario);
+    const auto& m = run.metrics;
+    const double wall = m.wall_seconds > 0.0 ? m.wall_seconds : 1e-9;
+    const bool ok = m.constitution_converged && m.total_exact;
+    all_ok = all_ok && ok;
+    table.add_row({run.entry->name, util::format("%llu", static_cast<unsigned long long>(m.steps)),
+                   util::format("%.0f", static_cast<double>(m.steps) / wall),
+                   util::format("%.0f", static_cast<double>(m.sim_events) / wall),
+                   util::format("%zu", m.peak_vehicle_slots),
+                   util::format("%llu", static_cast<unsigned long long>(m.total_spawned)),
+                   util::format("%.2f", m.wall_seconds), ok ? "yes" : "NO"});
+  }
+  std::cout << "== Perf report (" << (opts.smoke ? "smoke" : "full") << ") ==\n";
+  table.print(std::cout);
+  std::cout << util::format("peak RSS: %.1f MiB\n",
+                            static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0));
+
+  std::ofstream json(out_path, std::ios::trunc);
+  if (!json) {
+    std::cerr << "ivc_bench: cannot open '" << out_path << "' for writing\n";
+    return 1;
+  }
+  write_perf_json(json, runs, opts.smoke);
+  std::cout << "perf JSON written to " << out_path << "\n";
+  if (!all_ok) {
+    std::cerr << "ivc_bench: a perf scenario failed to converge or miscounted\n";
+    return 1;
+  }
+  return 0;
+}
+
 // Runs one sweep, appends CSV to `csv_out` if open. Returns pass/fail.
 bool execute(const RunRequest& request, bool print_csv, std::ofstream* csv_out) {
   const auto cells =
@@ -139,11 +287,14 @@ int main(int argc, char** argv) {
   experiment::HarnessOptions opts;
   bool list = false;
   bool all_scenarios = false;
+  bool perf = false;
   std::string scenario_name;
   std::string figure_name;
   std::string volumes_csv;
   std::string seeds_csv;
   std::string out_path;
+  std::string perf_out = "BENCH_pr2.json";
+  std::string perf_scenarios = kDefaultPerfScenarios;
 
   util::Cli cli("ivc_bench",
                 "unified sweep runner: paper figures and zoo scenarios by name");
@@ -151,6 +302,10 @@ int main(int argc, char** argv) {
   cli.add_string("figure", &figure_name, "run a paper figure (fig2..fig5b)");
   cli.add_string("scenario", &scenario_name, "run a named scenario (see --list)");
   cli.add_flag("all-scenarios", &all_scenarios, "run every named scenario");
+  cli.add_flag("perf", &perf, "perf mode: timed serial runs -> JSON report");
+  cli.add_string("perf-out", &perf_out, "perf mode: JSON output path");
+  cli.add_string("perf-scenarios", &perf_scenarios,
+                 "perf mode: comma-separated scenario names (>= 3)");
   cli.add_string("volumes", &volumes_csv, "override volume grid, e.g. 25,50,100");
   cli.add_string("seeds", &seeds_csv, "override seed-count grid, e.g. 1,2,4");
   cli.add_string("out", &out_path, "append machine-readable CSV to this file");
@@ -161,6 +316,7 @@ int main(int argc, char** argv) {
     print_catalogue();
     return 0;
   }
+  if (perf) return run_perf_mode(opts, perf_scenarios, perf_out);
   if (figure_name.empty() && scenario_name.empty() && !all_scenarios) {
     cli.print_usage(std::cerr);
     std::cerr << "\nivc_bench: nothing to do — pass --list, --figure, --scenario or "

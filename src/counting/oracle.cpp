@@ -6,7 +6,6 @@ namespace ivc::counting {
 
 void Oracle::on_counted(traffic::VehicleId veh, roadnet::NodeId /*node*/,
                         util::SimTime /*t*/) {
-  if (veh.value() >= counted_times_.size()) counted_times_.resize(veh.value() + 1, 0);
   ++counted_times_[veh.value()];
   ++count_events_;
 }
@@ -21,8 +20,9 @@ void Oracle::on_interaction_exit(traffic::VehicleId /*veh*/, roadnet::NodeId /*n
 
 std::int64_t Oracle::true_population() const {
   std::int64_t n = 0;
-  for (const auto& veh : engine_.vehicles()) {
-    if (!veh.alive || veh.is_patrol) continue;
+  for (const traffic::VehicleId id : engine_.alive_vehicles()) {
+    const traffic::Vehicle& veh = engine_.vehicle(id);
+    if (veh.is_patrol) continue;
     if (!recognizer_.matches(veh.attrs)) continue;
     if (engine_.network().segment(veh.edge).is_gateway()) continue;
     ++n;
@@ -31,12 +31,13 @@ std::int64_t Oracle::true_population() const {
 }
 
 int Oracle::times_counted(traffic::VehicleId veh) const {
-  return veh.value() < counted_times_.size() ? counted_times_[veh.value()] : 0;
+  const auto it = counted_times_.find(veh.value());
+  return it == counted_times_.end() ? 0 : it->second;
 }
 
 std::uint64_t Oracle::double_counted_vehicles() const {
   std::uint64_t n = 0;
-  for (const auto times : counted_times_) {
+  for (const auto& [id, times] : counted_times_) {
     if (times > 1) ++n;
   }
   return n;
@@ -45,8 +46,9 @@ std::uint64_t Oracle::double_counted_vehicles() const {
 Verdict Oracle::verify_exactly_once() const {
   std::uint64_t missed = 0;
   std::uint64_t doubled = 0;
-  for (const auto& veh : engine_.vehicles()) {
-    if (!veh.alive || veh.is_patrol || !recognizer_.matches(veh.attrs)) continue;
+  for (const traffic::VehicleId id : engine_.alive_vehicles()) {
+    const traffic::Vehicle& veh = engine_.vehicle(id);
+    if (veh.is_patrol || !recognizer_.matches(veh.attrs)) continue;
     const int times = times_counted(veh.id);
     if (times == 0) ++missed;
     if (times > 1) ++doubled;

@@ -17,7 +17,7 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
+#include <unordered_map>
 
 #include "roadnet/types.hpp"
 #include "surveillance/recognizer.hpp"
@@ -63,7 +63,12 @@ class Oracle {
  private:
   const traffic::SimEngine& engine_;
   surveillance::Recognizer recognizer_;
-  std::vector<std::uint16_t> counted_times_;  // by vehicle id
+  // Keyed by the packed (slot, generation) id value: vehicle slots are
+  // recycled, so a dense slot-indexed array would conflate successive
+  // occupants. Per-vehicle-EVER history is inherent to the double-count
+  // check, so this map grows with distinct counted vehicles — acceptable
+  // for a test/benchmark aid that the protocol never reads.
+  std::unordered_map<std::uint64_t, std::uint16_t> counted_times_;
   std::uint64_t count_events_ = 0;
   std::int64_t adjustment_sum_ = 0;
   std::uint64_t exit_events_ = 0;

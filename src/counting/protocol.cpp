@@ -385,7 +385,7 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
     IVC_ASSERT(out != nullptr);
     if (out->needs_label) {
       const bool ok =
-          is_patrol || config_.channel_loss <= 0.0 || channel_.tracked_pickup();
+          is_patrol || config_.channel_loss <= 0.0 || channel_.pickup_succeeds();
       if (ok) {
         obu.label = v2x::Label{event.node, event.to_edge, now};
         obu.overtake_delta = 0;
@@ -436,7 +436,7 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
         }
       }
       if (any_eligible) {
-        const bool ok = config_.channel_loss <= 0.0 || channel_.tracked_pickup();
+        const bool ok = config_.channel_loss <= 0.0 || channel_.pickup_succeeds();
         if (ok) {
           auto it = box.begin();
           while (it != box.end()) {

@@ -43,6 +43,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   traffic::SimConfig sim = config.sim;
   sim.seed = util::derive_seed(config.seed, "engine");
   traffic::SimEngine engine(net, sim);
+  engine.set_perf(config.perf);
 
   traffic::Router router(net, util::derive_seed(config.seed, "router"));
 
@@ -87,7 +88,10 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       1, static_cast<std::uint64_t>(5.0 / config.sim.dt));
 
   while (engine.now() < limit) {
-    demand.update();
+    {
+      util::PerfTimer timer(config.perf, util::PerfPhase::Demand);
+      demand.update();
+    }
     engine.step();
     if (engine.step_count() % check_every != 0) continue;
     if (!saw_all_active && protocol.all_active()) {
@@ -136,6 +140,11 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   metrics.double_counted = oracle.double_counted_vehicles();
   metrics.protocol_stats = protocol.stats();
   metrics.channel_failures = protocol.channel().failures();
+  metrics.steps = engine.step_count();
+  metrics.sim_events = engine.events_emitted();
+  metrics.transits = engine.total_transits();
+  metrics.total_spawned = engine.total_spawned();
+  metrics.peak_vehicle_slots = engine.vehicles().size();
 
   (void)patrol;
   const auto wall_end = std::chrono::steady_clock::now();

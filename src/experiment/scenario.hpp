@@ -16,6 +16,7 @@
 #include "counting/protocol.hpp"
 #include "roadnet/manhattan.hpp"
 #include "traffic/sim_engine.hpp"
+#include "util/perf.hpp"
 
 namespace ivc::experiment {
 
@@ -50,6 +51,12 @@ struct ScenarioConfig {
   double time_limit_minutes = 240.0;
   std::uint64_t seed = 1;
 
+  // Optional perf instrumentation: when set, the engine's step phases and
+  // the demand update are timed into this collector. Collectors are
+  // single-threaded — attach one per serial run only, never to the base
+  // config of a multi-threaded sweep.
+  util::PerfCollector* perf = nullptr;
+
   [[nodiscard]] std::string describe() const;
 };
 
@@ -80,6 +87,11 @@ struct RunMetrics {
   // -- bookkeeping ---------------------------------------------------------------
   std::size_t population = 0;
   std::size_t checkpoints = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t sim_events = 0;       // events through the engine's buffer
+  std::uint64_t transits = 0;
+  std::uint64_t total_spawned = 0;
+  std::size_t peak_vehicle_slots = 0;  // peak concurrent vehicles (slot store)
   std::string collection_debug;  // non-empty when collection did not converge
   counting::ProtocolStats protocol_stats;
   std::uint64_t channel_failures = 0;

@@ -4,7 +4,18 @@
 // state; it reacts to the same observable moments the paper's checkpoints
 // do — a vehicle transiting an intersection (camera + V2I exchange window)
 // and confirmed overtake reports from cooperative V2V ranging.
+//
+// Events are not dispatched at their generation site: the engine appends
+// them to a per-step EventBuffer (a typed variant stream, kept in
+// generation order) and flushes the whole batch once at the end of the
+// step. Observers keep the virtual SimObserver interface, so the batched
+// pipeline is invisible to them — they just see the same per-event calls,
+// delivered back-to-back instead of interleaved with the engine's hot
+// loops.
 #pragma once
+
+#include <variant>
+#include <vector>
 
 #include "roadnet/types.hpp"
 #include "traffic/vehicle.hpp"
@@ -61,6 +72,47 @@ class SimObserver {
   virtual void on_overtake(const OvertakeEvent&) {}
   virtual void on_despawn(const DespawnEvent&) {}
   virtual void on_step_end(util::SimTime) {}
+};
+
+// One simulation event of any kind.
+using SimEvent = std::variant<SpawnEvent, TransitEvent, OvertakeEvent, DespawnEvent>;
+
+// Per-step event batch. The engine appends during the step; flush()
+// replays the batch to every observer in generation (index) order — the
+// exact order the old per-site virtual dispatch used — then clears.
+//
+// Observers may not mutate the engine during a flush; they can, however,
+// be fed events that reference vehicles despawned earlier in the same
+// step, because the engine defers slot recycling until after the flush.
+class EventBuffer {
+ public:
+  template <typename Event>
+  void push(Event&& event) {
+    events_.emplace_back(std::forward<Event>(event));
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const std::vector<SimEvent>& events() const { return events_; }
+
+  void flush(const std::vector<SimObserver*>& observers) {
+    // Index loop: stays valid even if a (misbehaving) observer appends.
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const SimEvent event = events_[i];
+      for (SimObserver* obs : observers) {
+        std::visit([obs](const auto& e) { dispatch(obs, e); }, event);
+      }
+    }
+    events_.clear();
+  }
+
+ private:
+  static void dispatch(SimObserver* obs, const SpawnEvent& e) { obs->on_spawn(e); }
+  static void dispatch(SimObserver* obs, const TransitEvent& e) { obs->on_transit(e); }
+  static void dispatch(SimObserver* obs, const OvertakeEvent& e) { obs->on_overtake(e); }
+  static void dispatch(SimObserver* obs, const DespawnEvent& e) { obs->on_despawn(e); }
+
+  std::vector<SimEvent> events_;
 };
 
 }  // namespace ivc::traffic

@@ -53,16 +53,15 @@ std::vector<VehicleId>& SimEngine::lane_mut(roadnet::EdgeId edge, int lane) {
 }
 
 const Vehicle& SimEngine::vehicle(VehicleId id) const {
-  IVC_ASSERT(id.valid() && id.value() < vehicles_.size());
-  return vehicles_[id.value()];
+  IVC_ASSERT(id.valid() && id.slot() < vehicles_.size());
+  IVC_ASSERT_MSG(vehicles_[id.slot()].id == id, "stale vehicle id (slot recycled)");
+  return vehicles_[id.slot()];
 }
 
-std::size_t SimEngine::population_inside() const {
-  std::size_t n = 0;
-  for (const auto& veh : vehicles_) {
-    if (veh.alive && !veh.is_patrol && !net_.segment(veh.edge).is_gateway()) ++n;
-  }
-  return n;
+const Vehicle* SimEngine::find_vehicle(VehicleId id) const {
+  if (!id.valid() || id.slot() >= vehicles_.size()) return nullptr;
+  const Vehicle& veh = vehicles_[id.slot()];
+  return veh.id == id ? &veh : nullptr;
 }
 
 std::size_t SimEngine::vehicles_on_edge(roadnet::EdgeId edge) const {
@@ -75,14 +74,8 @@ std::size_t SimEngine::vehicles_on_edge(roadnet::EdgeId edge) const {
 
 double SimEngine::mean_speed() const {
   double sum = 0.0;
-  std::size_t n = 0;
-  for (const auto& veh : vehicles_) {
-    if (veh.alive) {
-      sum += veh.speed;
-      ++n;
-    }
-  }
-  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  for (const VehicleId id : alive_) sum += vehicles_[id.slot()].speed;
+  return alive_.empty() ? 0.0 : sum / static_cast<double>(alive_.size());
 }
 
 void SimEngine::remove_from_lane(const Vehicle& veh) {
@@ -101,9 +94,22 @@ void SimEngine::insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane,
   auto& vehicles = lane_mut(edge, lane);
   const auto it = std::lower_bound(vehicles.begin(), vehicles.end(), position,
                                    [this](VehicleId id, double pos) {
-                                     return vehicles_[id.value()].position < pos;
+                                     return vehicles_[id.slot()].position < pos;
                                    });
   vehicles.insert(it, veh.id);
+}
+
+VehicleId SimEngine::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    // The dead record still carries the previous id; bump its generation.
+    return VehicleId{slot, vehicles_[slot].id.generation() + 1};
+  }
+  const auto slot = static_cast<std::uint32_t>(vehicles_.size());
+  vehicles_.emplace_back();
+  alive_pos_.push_back(0);
+  return VehicleId{slot, 0};
 }
 
 VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
@@ -118,19 +124,21 @@ VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
   const auto& lane_list = lane_vehicles(edge, lane);
   const auto it = std::lower_bound(lane_list.begin(), lane_list.end(), position,
                                    [this](VehicleId id, double pos) {
-                                     return vehicles_[id.value()].position < pos;
+                                     return vehicles_[id.slot()].position < pos;
                                    });
   if (it != lane_list.end()) {
-    const auto& ahead = vehicles_[it->value()];
+    const auto& ahead = vehicles_[it->slot()];
     if (ahead.position - ahead.length - position < kMinSeparation) return VehicleId::invalid();
   }
   if (it != lane_list.begin()) {
-    const auto& behind = vehicles_[(it - 1)->value()];
+    const auto& behind = vehicles_[(it - 1)->slot()];
     if (position - len - behind.position < kMinSeparation) return VehicleId::invalid();
   }
 
-  Vehicle veh;
-  veh.id = VehicleId{static_cast<std::uint32_t>(vehicles_.size())};
+  const VehicleId id = allocate_slot();
+  Vehicle& veh = vehicles_[id.slot()];
+  veh = Vehicle{};
+  veh.id = id;
   veh.attrs = attrs;
   veh.alive = true;
   veh.is_patrol = is_patrol;
@@ -139,19 +147,21 @@ VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
   veh.route = std::move(route);
   veh.speed = 0.0;
   veh.entry_seq = ++entry_seq_counter_;
-  vehicles_.push_back(std::move(veh));
-  ++alive_count_;
 
-  insert_into_lane(vehicles_.back(), edge, lane, position);
-  const SpawnEvent event{now_, vehicles_.back().id, edge};
-  for (auto* obs : observers_) obs->on_spawn(event);
-  return vehicles_.back().id;
+  alive_pos_[id.slot()] = static_cast<std::uint32_t>(alive_.size());
+  alive_.push_back(id);
+  ++total_spawned_;
+  if (!is_patrol && !seg.is_gateway()) ++population_inside_;
+
+  insert_into_lane(veh, edge, lane, position);
+  push_event(SpawnEvent{now_, id, edge});
+  return id;
 }
 
 bool SimEngine::entry_has_room(roadnet::EdgeId edge, int lane, double len) const {
   const auto& vehicles = lane_vehicles(edge, lane);
   if (vehicles.empty()) return true;
-  const auto& rear = vehicles_[vehicles.front().value()];
+  const auto& rear = vehicles_[vehicles.front().slot()];
   return rear.position - rear.length - len >= kMinSeparation + 1.0;
 }
 
@@ -164,8 +174,8 @@ int SimEngine::pick_entry_lane(roadnet::EdgeId edge, double len) const {
     const auto& vehicles = lane_vehicles(edge, lane);
     const double space =
         vehicles.empty() ? seg.length
-                         : vehicles_[vehicles.front().value()].position -
-                               vehicles_[vehicles.front().value()].length;
+                         : vehicles_[vehicles.front().slot()].position -
+                               vehicles_[vehicles.front().slot()].length;
     if (space > best_space) {
       best_space = space;
       best = lane;
@@ -184,10 +194,12 @@ VehicleId SimEngine::try_spawn_at_start(roadnet::EdgeId edge, const ExteriorAttr
 }
 
 void SimEngine::set_watched(VehicleId id, bool watched) {
-  if (watched) {
-    watched_.insert(id);
-  } else {
-    watched_.erase(id);
+  const auto it = std::lower_bound(watched_.begin(), watched_.end(), id);
+  const bool present = it != watched_.end() && *it == id;
+  if (watched && !present) {
+    watched_.insert(it, id);
+  } else if (!watched && present) {
+    watched_.erase(it);
   }
 }
 
@@ -223,7 +235,7 @@ void SimEngine::apply_lane_changes() {
     for (int lane = 0; lane < seg.lanes; ++lane) {
       auto& lane_list = lane_mut(seg.id, lane);
       for (std::size_t i = lane_list.size(); i-- > 0;) {
-        Vehicle& veh = vehicles_[lane_list[i].value()];
+        Vehicle& veh = vehicles_[lane_list[i].slot()];
         if (veh.lane_change_cooldown > 0) continue;
         if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
         if (veh.position > seg.length - config_.intersection_lookahead) continue;
@@ -231,7 +243,7 @@ void SimEngine::apply_lane_changes() {
         double lead_gap = kInf;
         double lead_speed = kInf;
         if (i + 1 < lane_list.size()) {
-          const Vehicle& leader = vehicles_[lane_list[i + 1].value()];
+          const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
           lead_gap = leader.position - leader.length - veh.position;
           lead_speed = leader.speed;
         }
@@ -247,17 +259,17 @@ void SimEngine::apply_lane_changes() {
           const auto& tgt = lane_vehicles(seg.id, target);
           const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
                                            [this](VehicleId id, double pos) {
-                                             return vehicles_[id.value()].position < pos;
+                                             return vehicles_[id.slot()].position < pos;
                                            });
           double tgt_lead_gap = kInf;
           if (it != tgt.end()) {
-            const Vehicle& tl = vehicles_[it->value()];
+            const Vehicle& tl = vehicles_[it->slot()];
             tgt_lead_gap = tl.position - tl.length - veh.position;
           }
           double tgt_follow_gap = kInf;
           double follower_speed = 0.0;
           if (it != tgt.begin()) {
-            const Vehicle& tf = vehicles_[(it - 1)->value()];
+            const Vehicle& tf = vehicles_[(it - 1)->slot()];
             tgt_follow_gap = veh.position - veh.length - tf.position;
             follower_speed = tf.speed;
           }
@@ -293,7 +305,7 @@ void SimEngine::update_dynamics() {
       // Front-to-back so each follower clamps against its leader's *new*
       // position (sequential update; collision-free by construction).
       for (std::size_t i = lane_list.size(); i-- > 0;) {
-        Vehicle& veh = vehicles_[lane_list[i].value()];
+        Vehicle& veh = vehicles_[lane_list[i].slot()];
         // Vehicles already past the end are waiting for admission.
         if (veh.position >= seg.length) {
           veh.speed = 0.0;
@@ -302,7 +314,7 @@ void SimEngine::update_dynamics() {
         double gap = kInf;
         double lead_speed = 0.0;
         if (i + 1 < lane_list.size()) {
-          const Vehicle& leader = vehicles_[lane_list[i + 1].value()];
+          const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
           gap = std::min(leader.position, seg.length) - leader.length - veh.position;
           lead_speed = leader.speed;
         } else if (!outbound_gateway &&
@@ -322,7 +334,7 @@ void SimEngine::update_dynamics() {
         double pos = veh.position + v * dt;
         // Overlap clamp against the (already updated) leader.
         if (i + 1 < lane_list.size()) {
-          const Vehicle& leader = vehicles_[lane_list[i + 1].value()];
+          const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
           const double limit = leader.position - leader.length - kMinSeparation;
           if (pos > limit) {
             pos = std::max(veh.position, limit);
@@ -345,21 +357,23 @@ void SimEngine::update_dynamics() {
 
 void SimEngine::detect_overtakes() {
   if (watched_.empty()) return;
+  // watched_ is sorted by id, so the event order here is identical on every
+  // platform — part of the bit-exact contract (an unordered_set would order
+  // these by hash-table layout).
   for (const VehicleId wid : watched_) {
-    const Vehicle& w = vehicles_[wid.value()];
-    if (!w.alive) continue;
-    const auto& seg = net_.segment(w.edge);
+    const Vehicle* w = find_vehicle(wid);
+    if (w == nullptr || !w->alive) continue;  // stale watch entry
+    const auto& seg = net_.segment(w->edge);
     if (seg.lanes < 2) continue;  // single-lane edges are FIFO by construction
     for (int lane = 0; lane < seg.lanes; ++lane) {
-      for (const VehicleId xid : lane_vehicles(w.edge, lane)) {
+      for (const VehicleId xid : lane_vehicles(w->edge, lane)) {
         if (xid == wid) continue;
-        const Vehicle& x = vehicles_[xid.value()];
-        const double before = x.prev_position - w.prev_position;
-        const double after = x.position - w.position;
+        const Vehicle& x = vehicles_[xid.slot()];
+        const double before = x.prev_position - w->prev_position;
+        const double after = x.position - w->position;
         if (before == 0.0 || after == 0.0) continue;
         if ((before < 0.0) != (after < 0.0)) {
-          const OvertakeEvent event{now_, w.edge, wid, xid, after > 0.0};
-          for (auto* obs : observers_) obs->on_overtake(event);
+          push_event(OvertakeEvent{now_, w->edge, wid, xid, after > 0.0});
         }
       }
     }
@@ -373,17 +387,11 @@ void SimEngine::process_transits() {
     for (int lane = 0; lane < seg.lanes; ++lane) {
       const auto& lane_list = lane_vehicles(seg.id, lane);
       if (lane_list.empty()) continue;
-      const Vehicle& front = vehicles_[lane_list.back().value()];
+      const Vehicle& front = vehicles_[lane_list.back().slot()];
       if (front.position < seg.length) continue;
       if (seg.is_outbound_gateway()) {
         // Reached the outside world: despawn.
-        Vehicle& veh = vehicles_[front.id.value()];
-        remove_from_lane(veh);
-        veh.alive = false;
-        --alive_count_;
-        watched_.erase(veh.id);
-        const DespawnEvent event{now_, veh.id, seg.id};
-        for (auto* obs : observers_) obs->on_despawn(event);
+        despawn(vehicles_[front.id.slot()], seg.id);
         continue;
       }
       node_candidates_[seg.to.value()].push_back(
@@ -406,49 +414,102 @@ void SimEngine::process_transits() {
     // enter the intersection and make the turn").
     const bool per_approach =
         config_.multi_admission || node.kind == roadnet::IntersectionKind::Roundabout;
-    std::unordered_set<std::uint32_t> used_approaches;
+    // Approaches admitted this step; a plain vector beats a hash set at the
+    // handful of approaches an intersection has.
+    used_approaches_.clear();
     int admitted = 0;
     for (const Candidate& cand : candidates) {
       if (!per_approach && admitted >= 1) break;
-      if (per_approach && used_approaches.contains(cand.from_edge.value())) continue;
+      if (per_approach && std::find(used_approaches_.begin(), used_approaches_.end(),
+                                    cand.from_edge) != used_approaches_.end()) {
+        continue;
+      }
 
-      Vehicle& veh = vehicles_[cand.veh.value()];
+      Vehicle& veh = vehicles_[cand.veh.slot()];
       const roadnet::EdgeId next = ensure_next_edge(veh, node.id);
       const int entry_lane = pick_entry_lane(next, veh.length);
       if (entry_lane < 0) continue;  // no room; wait at the stop line
 
       const std::uint64_t from_entry_seq = veh.entry_seq;
+      const bool was_inside = !net_.segment(cand.from_edge).is_gateway();
+      const bool now_inside = !net_.segment(next).is_gateway();
       remove_from_lane(veh);
       veh.route.advance();
       insert_into_lane(veh, next, entry_lane, 0.0);
       veh.entry_seq = ++entry_seq_counter_;
       ++admitted;
-      used_approaches.insert(cand.from_edge.value());
+      used_approaches_.push_back(cand.from_edge);
       ++total_transits_;
+      if (!veh.is_patrol && was_inside != now_inside) {
+        if (now_inside) {
+          ++population_inside_;
+        } else {
+          --population_inside_;
+        }
+      }
 
-      const TransitEvent event{now_, veh.id, node.id, cand.from_edge, next,
-                               from_entry_seq};
-      for (auto* obs : observers_) obs->on_transit(event);
+      push_event(TransitEvent{now_, veh.id, node.id, cand.from_edge, next,
+                              from_entry_seq});
     }
   }
 }
 
+void SimEngine::despawn(Vehicle& veh, roadnet::EdgeId edge) {
+  IVC_ASSERT(veh.alive);
+  remove_from_lane(veh);
+  veh.alive = false;
+  if (!veh.is_patrol && !net_.segment(veh.edge).is_gateway()) --population_inside_;
+  // Swap-remove from the dense alive index.
+  const std::uint32_t pos = alive_pos_[veh.id.slot()];
+  alive_[pos] = alive_.back();
+  alive_pos_[alive_[pos].slot()] = pos;
+  alive_.pop_back();
+  set_watched(veh.id, false);
+  // The slot is recycled only after this step's event flush, so buffered
+  // events (and observers handling them) can still resolve the record.
+  pending_free_.push_back(veh.id.slot());
+  push_event(DespawnEvent{now_, veh.id, edge});
+}
+
 void SimEngine::finish_step() {
-  for (auto& veh : vehicles_) {
-    if (!veh.alive) continue;
-    veh.prev_position = veh.position;
-    if (veh.lane_change_cooldown > 0) --veh.lane_change_cooldown;
+  {
+    util::PerfTimer timer(perf_, util::PerfPhase::StepBookkeeping);
+    for (const VehicleId id : alive_) {
+      Vehicle& veh = vehicles_[id.slot()];
+      veh.prev_position = veh.position;
+      if (veh.lane_change_cooldown > 0) --veh.lane_change_cooldown;
+    }
+    now_ += util::SimTime::from_seconds(config_.dt);
+    ++step_count_;
   }
-  now_ += util::SimTime::from_seconds(config_.dt);
-  ++step_count_;
-  for (auto* obs : observers_) obs->on_step_end(now_);
+  {
+    util::PerfTimer timer(perf_, util::PerfPhase::EventFlush);
+    events_.flush(observers_);
+    // Now that no buffered event can reference them, freed slots become
+    // reusable (their generation is bumped at the next allocation).
+    free_slots_.insert(free_slots_.end(), pending_free_.begin(), pending_free_.end());
+    pending_free_.clear();
+    for (auto* obs : observers_) obs->on_step_end(now_);
+  }
 }
 
 void SimEngine::step() {
-  apply_lane_changes();
-  update_dynamics();
-  detect_overtakes();
-  process_transits();
+  {
+    util::PerfTimer timer(perf_, util::PerfPhase::LaneChange);
+    apply_lane_changes();
+  }
+  {
+    util::PerfTimer timer(perf_, util::PerfPhase::Dynamics);
+    update_dynamics();
+  }
+  {
+    util::PerfTimer timer(perf_, util::PerfPhase::Overtakes);
+    detect_overtakes();
+  }
+  {
+    util::PerfTimer timer(perf_, util::PerfPhase::Transits);
+    process_transits();
+  }
   finish_step();
 }
 

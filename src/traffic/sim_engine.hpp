@@ -8,11 +8,12 @@
 // counting protocol can observe (intersection transits, confirmed
 // overtakes, spawns/despawns).
 //
-// Determinism: given a seed and a fixed observer set, runs are bit-exact.
-// All iteration is in index order; intersection admission rotates its
-// approach priority with the step counter; every random draw comes from
-// seeded streams. This is what makes the parallel benchmark sweeps
-// reproducible.
+// Determinism: given a seed and a fixed observer set, runs are bit-exact
+// across platforms and standard libraries. All iteration is in index or
+// sorted order (no unordered containers on any event-generating path);
+// events are delivered from a per-step buffer in generation order; every
+// random draw comes from seeded streams. This is what makes the parallel
+// benchmark sweeps reproducible.
 //
 // Model notes:
 //  * "Simple road model" (paper Sec. III-A): single-lane roads, no lane
@@ -25,12 +26,12 @@
 #pragma once
 
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "roadnet/road_network.hpp"
 #include "traffic/events.hpp"
 #include "traffic/vehicle.hpp"
+#include "util/perf.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
@@ -64,8 +65,14 @@ class SimEngine {
 
   // ---- wiring -------------------------------------------------------------
 
-  // Observers are non-owning and are invoked in registration order.
+  // Observers are non-owning and are invoked in registration order. Events
+  // are batched in a per-step EventBuffer and delivered once per step (at
+  // the end of the step, before on_step_end); see events.hpp.
   void add_observer(SimObserver* observer);
+
+  // Attach a perf collector (nullptr detaches). When attached, every step
+  // phase is timed; when detached the engine does not even read the clock.
+  void set_perf(util::PerfCollector* perf) { perf_ = perf; }
 
   // Called when a vehicle's route is exhausted and it needs a continuation
   // from `node`; must return a route whose first edge leaves `node` (or an
@@ -102,12 +109,26 @@ class SimEngine {
   // ---- queries --------------------------------------------------------------
 
   [[nodiscard]] const roadnet::RoadNetwork& network() const { return net_; }
+  // Asserts the id is current (slot occupied by that exact generation).
+  // A despawned vehicle stays addressable until its slot is recycled.
   [[nodiscard]] const Vehicle& vehicle(VehicleId id) const;
+  // Generation-checked lookup: nullptr when the id is stale (the slot was
+  // recycled for a newer vehicle) or out of range.
+  [[nodiscard]] const Vehicle* find_vehicle(VehicleId id) const;
+  // The slot store. Size == peak concurrent vehicles over the run, NOT the
+  // total ever spawned: despawned slots are recycled. Entries with
+  // `alive == false` are despawned vehicles awaiting reuse.
   [[nodiscard]] const std::vector<Vehicle>& vehicles() const { return vehicles_; }
-  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  // Dense list of currently-alive vehicle ids (engine iteration order).
+  [[nodiscard]] const std::vector<VehicleId>& alive_vehicles() const { return alive_; }
+  [[nodiscard]] std::size_t alive_count() const { return alive_.size(); }
+  [[nodiscard]] std::uint64_t total_spawned() const { return total_spawned_; }
   // Non-patrol vehicles currently on interior edges — the open-system
-  // ground-truth population (oracle).
-  [[nodiscard]] std::size_t population_inside() const;
+  // ground-truth population (oracle). O(1): maintained on
+  // spawn/transit/despawn rather than scanned per call.
+  [[nodiscard]] std::size_t population_inside() const { return population_inside_; }
+  // Total events appended to the per-step buffer over the run.
+  [[nodiscard]] std::uint64_t events_emitted() const { return events_emitted_; }
   [[nodiscard]] const std::vector<VehicleId>& lane_vehicles(roadnet::EdgeId edge,
                                                             int lane) const;
   [[nodiscard]] std::size_t vehicles_on_edge(roadnet::EdgeId edge) const;
@@ -143,6 +164,16 @@ class SimEngine {
   void remove_from_lane(const Vehicle& veh);
   void insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane, double position);
 
+  // Slot allocation: pop the free list (bumping the generation) or grow.
+  [[nodiscard]] VehicleId allocate_slot();
+  void despawn(Vehicle& veh, roadnet::EdgeId edge);
+
+  template <typename Event>
+  void push_event(Event&& event) {
+    ++events_emitted_;
+    events_.push(std::forward<Event>(event));
+  }
+
   const roadnet::RoadNetwork& net_;
   SimConfig config_;
   util::Rng rng_;
@@ -150,8 +181,18 @@ class SimEngine {
   std::uint64_t step_count_ = 0;
   std::uint64_t total_transits_ = 0;
 
-  std::vector<Vehicle> vehicles_;  // indexed by VehicleId; never reused
-  std::size_t alive_count_ = 0;
+  // Slot + generation vehicle store. `vehicles_` is indexed by
+  // VehicleId::slot(); a despawned slot goes to `pending_free_` and is
+  // recycled (generation bumped) only after the step's event flush, so
+  // buffered events never see a reused slot. Size is bounded by the peak
+  // concurrent population, not by the total ever spawned.
+  std::vector<Vehicle> vehicles_;
+  std::vector<std::uint32_t> free_slots_;    // recycled slots, LIFO
+  std::vector<std::uint32_t> pending_free_;  // freed this step, recycled post-flush
+  std::vector<VehicleId> alive_;             // dense alive index (swap-remove)
+  std::vector<std::uint32_t> alive_pos_;     // slot -> index into alive_
+  std::size_t population_inside_ = 0;        // maintained O(1) counter
+  std::uint64_t total_spawned_ = 0;
   std::uint64_t entry_seq_counter_ = 0;
 
   // lane_vehicles_[lane_offset(edge) + lane] sorted by position ascending
@@ -159,9 +200,16 @@ class SimEngine {
   std::vector<std::vector<VehicleId>> lanes_;
   std::vector<std::size_t> lane_offset_;  // per edge
 
-  std::unordered_set<VehicleId> watched_;
+  // Sorted by id: iteration order is deterministic across standard
+  // libraries (an unordered_set here would make the overtake event order —
+  // and hence the bit-exact event stream — depend on the stdlib's hash
+  // layout).
+  std::vector<VehicleId> watched_;
   std::vector<SimObserver*> observers_;
   RoutePlanner route_planner_;
+  EventBuffer events_;
+  std::uint64_t events_emitted_ = 0;
+  util::PerfCollector* perf_ = nullptr;
 
   // Scratch: transit candidates per step.
   struct Candidate {
@@ -170,6 +218,7 @@ class SimEngine {
     double overflow;  // how far past the edge end (earlier arrival = larger)
   };
   std::vector<std::vector<Candidate>> node_candidates_;  // per intersection
+  std::vector<roadnet::EdgeId> used_approaches_;         // per-node admission scratch
 };
 
 }  // namespace ivc::traffic

@@ -32,7 +32,9 @@ class TransitCounter final : public SimObserver {
  private:
   std::uint64_t total_ = 0;
   std::unordered_map<std::uint32_t, std::uint64_t> per_node_;
-  std::unordered_map<std::uint32_t, std::uint64_t> per_vehicle_;
+  // Keyed by the packed (slot, generation) value so recycled slots don't
+  // merge the histories of successive vehicles.
+  std::unordered_map<std::uint64_t, std::uint64_t> per_vehicle_;
 };
 
 // Records every event verbatim (small scenarios only).

@@ -2,8 +2,12 @@
 //
 // A vehicle is a purely kinematic entity plus exterior attributes; all
 // protocol state (label bit, counted bit, carried reports) lives in the
-// v2x::Obu owned by the counting layer, keyed by VehicleId. VehicleIds are
-// never reused, so protocol maps stay valid across despawns.
+// v2x::Obu owned by the counting layer, keyed by VehicleId. A VehicleId is
+// a generational handle (32-bit storage slot + 32-bit generation): the
+// engine recycles the slot of a despawned vehicle, bumping the generation,
+// so storage stays O(peak concurrent vehicles) while a stale id held by
+// the protocol layer stops matching instead of silently aliasing a new
+// vehicle.
 #pragma once
 
 #include <limits>
@@ -17,7 +21,7 @@
 namespace ivc::traffic {
 
 struct VehicleTag {};
-using VehicleId = util::StrongId<VehicleTag>;
+using VehicleId = util::GenId<VehicleTag>;
 
 // Remaining route as edge ids. `cyclic` routes wrap (patrol cars driving
 // the Theorem-4 cycle forever); ordinary routes are consumed and replanned
@@ -29,9 +33,8 @@ struct Route {
 
   [[nodiscard]] bool exhausted() const { return !cyclic && next >= edges.size(); }
   [[nodiscard]] roadnet::EdgeId peek() const {
-    if (edges.empty()) return roadnet::EdgeId::invalid();
-    return cyclic ? edges[next % edges.size()] : (next < edges.size() ? edges[next]
-                                                                      : roadnet::EdgeId::invalid());
+    if (cyclic) return edges.empty() ? roadnet::EdgeId::invalid() : edges[next % edges.size()];
+    return exhausted() ? roadnet::EdgeId::invalid() : edges[next];
   }
   void advance() {
     if (cyclic) {

@@ -33,6 +33,45 @@ class StrongId {
   value_type value_ = kInvalid;
 };
 
+// Generational identifier: a 32-bit reusable storage slot plus a 32-bit
+// generation bumped every time the slot is recycled. Entities with bounded
+// lifetimes (vehicles) hand these out instead of ever-growing StrongIds:
+// storage stays O(peak concurrent) while a stale handle is still detected —
+// the "ids are never reused" invariant becomes "a reused slot carries a new
+// generation, so old ids stop matching".
+template <typename Tag>
+class GenId {
+ public:
+  using slot_type = std::uint32_t;
+  static constexpr slot_type kInvalidSlot = std::numeric_limits<slot_type>::max();
+
+  constexpr GenId() = default;
+  constexpr explicit GenId(slot_type slot, slot_type generation = 0)
+      : slot_(slot), generation_(generation) {}
+
+  [[nodiscard]] constexpr slot_type slot() const { return slot_; }
+  [[nodiscard]] constexpr slot_type generation() const { return generation_; }
+  // Packed 64-bit value (generation-major); unique over the whole run, so it
+  // can key per-vehicle-ever maps the way StrongId::value() used to.
+  [[nodiscard]] constexpr std::uint64_t value() const {
+    return (static_cast<std::uint64_t>(generation_) << 32) | slot_;
+  }
+  [[nodiscard]] constexpr bool valid() const { return slot_ != kInvalidSlot; }
+
+  friend constexpr bool operator==(GenId a, GenId b) { return a.value() == b.value(); }
+  friend constexpr bool operator!=(GenId a, GenId b) { return a.value() != b.value(); }
+  // Total order on the packed value: deterministic across platforms and
+  // standard libraries (sorted containers of GenIds iterate identically
+  // everywhere, unlike unordered ones).
+  friend constexpr bool operator<(GenId a, GenId b) { return a.value() < b.value(); }
+
+  [[nodiscard]] static constexpr GenId invalid() { return GenId{}; }
+
+ private:
+  slot_type slot_ = kInvalidSlot;
+  slot_type generation_ = 0;
+};
+
 }  // namespace ivc::util
 
 // std::hash support so strong IDs can key unordered containers.
@@ -41,6 +80,12 @@ template <typename Tag>
 struct hash<ivc::util::StrongId<Tag>> {
   size_t operator()(ivc::util::StrongId<Tag> id) const noexcept {
     return std::hash<uint32_t>{}(id.value());
+  }
+};
+template <typename Tag>
+struct hash<ivc::util::GenId<Tag>> {
+  size_t operator()(ivc::util::GenId<Tag> id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
   }
 };
 }  // namespace std

@@ -1,0 +1,95 @@
+// Performance instrumentation: scoped phase timers, cheap counters and a
+// peak-RSS probe, feeding the `ivc_bench --perf` JSON report.
+//
+// The collector is opt-in and pointer-gated: every instrumentation site
+// takes a `PerfCollector*` and does nothing — not even a clock read — when
+// it is null, so the hot loops pay a single predictable branch per phase
+// per step when profiling is off. A collector is single-threaded by
+// design; attach one collector per serial run (the sweep runner spawns one
+// engine per worker and must not share a collector across them).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace ivc::util {
+
+// One enumerator per engine/harness phase of a simulation step. Keep in
+// sync with perf_phase_name().
+enum class PerfPhase : std::uint8_t {
+  LaneChange,       // SimEngine: gap-acceptance lane changes
+  Dynamics,         // SimEngine: IDM acceleration + position integration
+  Overtakes,        // SimEngine: watched-vehicle order-flip detection
+  Transits,         // SimEngine: intersection admission + despawns
+  StepBookkeeping,  // SimEngine: prev-position carry, clock advance
+  EventFlush,       // SimEngine: batched event dispatch to observers
+  Demand,           // harness: boundary arrivals (DemandModel::update)
+  kCount,
+};
+
+[[nodiscard]] const char* perf_phase_name(PerfPhase phase);
+
+struct PerfPhaseStats {
+  std::uint64_t calls = 0;
+  std::uint64_t nanos = 0;
+
+  [[nodiscard]] double seconds() const { return static_cast<double>(nanos) * 1e-9; }
+};
+
+class PerfCollector {
+ public:
+  static constexpr std::size_t kPhaseCount = static_cast<std::size_t>(PerfPhase::kCount);
+
+  void add(PerfPhase phase, std::uint64_t nanos) {
+    PerfPhaseStats& stats = phases_[static_cast<std::size_t>(phase)];
+    ++stats.calls;
+    stats.nanos += nanos;
+  }
+
+  [[nodiscard]] const PerfPhaseStats& phase(PerfPhase phase) const {
+    return phases_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] const std::array<PerfPhaseStats, kPhaseCount>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] std::uint64_t total_nanos() const;
+
+  void reset() { phases_ = {}; }
+
+ private:
+  std::array<PerfPhaseStats, kPhaseCount> phases_{};
+};
+
+// RAII phase timer. Reads the clock only when a collector is attached.
+class PerfTimer {
+ public:
+  PerfTimer(PerfCollector* collector, PerfPhase phase)
+      : collector_(collector), phase_(phase) {
+    if (collector_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PerfTimer() {
+    if (collector_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      collector_->add(phase_, static_cast<std::uint64_t>(
+                                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                      elapsed)
+                                      .count()));
+    }
+  }
+
+  PerfTimer(const PerfTimer&) = delete;
+  PerfTimer& operator=(const PerfTimer&) = delete;
+
+ private:
+  PerfCollector* collector_;
+  PerfPhase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Peak resident set size of this process in bytes; 0 when the platform
+// offers no probe.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace ivc::util

@@ -24,21 +24,18 @@ class Channel {
 
   // Handoff to a moving vehicle (label or message pickup). A failure is
   // detected by the missing ack, so the caller can compensate and retry.
-  [[nodiscard]] bool pickup_succeeds() { return !rng_.bernoulli(loss_probability_); }
+  // Every draw is counted so benches can report retransmission overhead.
+  [[nodiscard]] bool pickup_succeeds() {
+    ++attempts_;
+    const bool ok = !rng_.bernoulli(loss_probability_);
+    if (!ok) ++failures_;
+    return ok;
+  }
 
   [[nodiscard]] double loss_probability() const { return loss_probability_; }
 
   [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
   [[nodiscard]] std::uint64_t failures() const { return failures_; }
-
-  // Instrumented variant used by the protocol so benches can report
-  // retransmission overhead.
-  [[nodiscard]] bool tracked_pickup() {
-    ++attempts_;
-    const bool ok = pickup_succeeds();
-    if (!ok) ++failures_;
-    return ok;
-  }
 
  private:
   double loss_probability_;

@@ -3,13 +3,18 @@
 // Each VANET vehicle node stores (paper Sec. III-B): the checkpoint status
 // label it may be carrying, its own counted bit for this counting round,
 // and any routed messages it is ferrying. The registry is keyed by
-// VehicleId (ids are never reused, so despawned entries simply go stale).
+// VehicleId slot with a generation tag per entry: vehicle slots ARE reused
+// by the engine, so an entry left behind by a despawned vehicle is
+// detected by its generation mismatch and reset before the successor
+// vehicle sees it. Storage stays O(peak concurrent vehicles).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "traffic/vehicle.hpp"
+#include "util/assert.hpp"
 #include "v2x/message.hpp"
 
 namespace ivc::v2x {
@@ -33,35 +38,60 @@ struct ObuState {
 class ObuRegistry {
  public:
   ObuState& get(traffic::VehicleId id) {
-    const std::size_t idx = id.value();
-    if (idx >= states_.size()) states_.resize(idx + 1);
-    return states_[idx];
+    const std::size_t idx = id.slot();
+    if (idx >= entries_.size()) entries_.resize(idx + 1);
+    Entry& entry = entries_[idx];
+    const std::uint64_t tag = generation_tag(id);
+    // A stale (older-generation) id must never wipe the live successor's
+    // state; callers only hold ids of vehicles that currently exist.
+    IVC_ASSERT_MSG(tag >= entry.generation_tag, "stale vehicle id mutating OBU state");
+    if (tag > entry.generation_tag) {
+      // First sight of this vehicle (or the slot's previous occupant left
+      // state behind): start from a clean OBU.
+      entry.state = ObuState{};
+      entry.generation_tag = tag;
+    }
+    return entry.state;
   }
 
+  // Generation-checked lookup: nullptr when no state was ever recorded for
+  // exactly this vehicle (including when the slot now belongs to a newer
+  // generation).
   [[nodiscard]] const ObuState* find(traffic::VehicleId id) const {
-    const std::size_t idx = id.value();
-    return idx < states_.size() ? &states_[idx] : nullptr;
+    const std::size_t idx = id.slot();
+    if (idx >= entries_.size()) return nullptr;
+    const Entry& entry = entries_[idx];
+    return entry.generation_tag == generation_tag(id) ? &entry.state : nullptr;
   }
 
-  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   // Number of labels currently in flight (diagnostics / quiescence check).
   [[nodiscard]] std::size_t labels_in_flight() const {
     std::size_t n = 0;
-    for (const auto& s : states_) {
-      if (s.has_label()) ++n;
+    for (const auto& entry : entries_) {
+      if (entry.state.has_label()) ++n;
     }
     return n;
   }
 
   [[nodiscard]] std::size_t cargo_in_flight() const {
     std::size_t n = 0;
-    for (const auto& s : states_) n += s.cargo.size();
+    for (const auto& entry : entries_) n += entry.state.cargo.size();
     return n;
   }
 
  private:
-  std::vector<ObuState> states_;
+  // generation + 1, so the default 0 means "slot never seen".
+  [[nodiscard]] static std::uint64_t generation_tag(traffic::VehicleId id) {
+    return static_cast<std::uint64_t>(id.generation()) + 1;
+  }
+
+  struct Entry {
+    std::uint64_t generation_tag = 0;
+    ObuState state;
+  };
+  std::vector<Entry> entries_;
 };
 
 }  // namespace ivc::v2x

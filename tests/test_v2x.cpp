@@ -27,9 +27,9 @@ TEST(Channel, ThirtyPercentLossRate) {
   EXPECT_NEAR(failures / static_cast<double>(n), 0.30, 0.01);
 }
 
-TEST(Channel, TrackedPickupCountsAttemptsAndFailures) {
+TEST(Channel, PickupCountsAttemptsAndFailures) {
   Channel ch(0.5, 7);
-  for (int i = 0; i < 1000; ++i) (void)ch.tracked_pickup();
+  for (int i = 0; i < 1000; ++i) (void)ch.pickup_succeeds();
   EXPECT_EQ(ch.attempts(), 1000u);
   EXPECT_NEAR(static_cast<double>(ch.failures()), 500.0, 70.0);
 }
@@ -52,6 +52,21 @@ TEST(Obu, FindDoesNotGrow) {
   ObuRegistry registry;
   EXPECT_EQ(registry.find(traffic::VehicleId{3}), nullptr);
   EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Obu, GenerationMismatchResetsState) {
+  // Vehicle slots are recycled by the engine; the registry must not leak
+  // the previous occupant's state into the successor.
+  ObuRegistry registry;
+  const traffic::VehicleId old_id{4, 0};
+  const traffic::VehicleId new_id{4, 1};
+  registry.get(old_id).counted = true;
+  EXPECT_NE(registry.find(old_id), nullptr);
+  EXPECT_EQ(registry.find(new_id), nullptr);  // same slot, newer generation
+  EXPECT_FALSE(registry.get(new_id).counted);  // reset on reuse
+  EXPECT_EQ(registry.find(old_id), nullptr);   // old generation evicted
+  EXPECT_NE(registry.find(new_id), nullptr);
+  EXPECT_EQ(registry.size(), 5u);  // storage stays slot-bounded
 }
 
 TEST(Obu, LabelLifecycle) {
