@@ -11,7 +11,7 @@
 //   ivc_bench --figure fig2               # a paper figure sweep
 //   ivc_bench --scenario ring-radial-open-rush
 //   ivc_bench --all-scenarios --smoke     # CI: every zoo scenario in seconds
-//   ivc_bench --perf                      # perf run -> BENCH_pr2.json
+//   ivc_bench --perf                      # perf run -> BENCH_pr3.json
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -129,17 +129,18 @@ struct RunRequest {
 //
 // Serial single-run-per-scenario perf harness. Each named scenario is run
 // once at its registry operating point with a PerfCollector attached; the
-// results land in a JSON report (BENCH_pr2.json by default) whose schema is
+// results land in a JSON report (BENCH_pr3.json by default) whose schema is
 // documented in README.md ("Perf JSON schema"). Correctness still gates the
 // exit code: a run that fails to converge or miscounts fails the bench, so
 // the CI perf-smoke job doubles as an end-to-end sanity check.
 
 // Default scenarios: one per regime the hot loops care about — closed grid
 // at peak density, open grid with boundary churn, open zoo topology at
-// rush volume, and the irregular web with a patrol fleet.
+// rush volume, the irregular web with a patrol fleet, and the two sparse
+// city-scale maps where per-step cost must track occupancy, not map size.
 constexpr const char* kDefaultPerfScenarios =
     "manhattan-closed-rush,manhattan-open-steady,ring-radial-open-rush,"
-    "random-web-closed-steady";
+    "random-web-closed-steady,metro-grid-sparse,highway-web-sparse";
 
 struct PerfRun {
   const experiment::NamedScenario* entry = nullptr;
@@ -175,6 +176,8 @@ void write_perf_json(std::ostream& out, const std::vector<PerfRun>& runs, bool s
     out << util::format("      \"total_spawned\": %llu,\n",
                         static_cast<unsigned long long>(m.total_spawned));
     out << util::format("      \"peak_vehicle_slots\": %zu,\n", m.peak_vehicle_slots);
+    out << util::format("      \"total_lanes\": %zu,\n", m.total_lanes);
+    out << util::format("      \"peak_occupied_lanes\": %zu,\n", m.peak_occupied_lanes);
     out << util::format("      \"population_final\": %lld,\n",
                         static_cast<long long>(m.truth));
     out << "      \"converged\": " << (m.constitution_converged ? "true" : "false")
@@ -293,7 +296,7 @@ int main(int argc, char** argv) {
   std::string volumes_csv;
   std::string seeds_csv;
   std::string out_path;
-  std::string perf_out = "BENCH_pr2.json";
+  std::string perf_out = "BENCH_pr3.json";
   std::string perf_scenarios = kDefaultPerfScenarios;
 
   util::Cli cli("ivc_bench",

@@ -384,8 +384,10 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
     OutboundDirection* out = cp.find_outbound(event.to_edge);
     IVC_ASSERT(out != nullptr);
     if (out->needs_label) {
-      const bool ok =
-          is_patrol || config_.channel_loss <= 0.0 || channel_.pickup_succeeds();
+      // Patrol equipment bypasses the lossy channel entirely (no exchange
+      // is drawn); every ordinary pickup goes through the channel so its
+      // attempt statistics hold on lossless runs too.
+      const bool ok = is_patrol || channel_.pickup_succeeds();
       if (ok) {
         obu.label = v2x::Label{event.node, event.to_edge, now};
         obu.overtake_delta = 0;
@@ -436,7 +438,7 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
         }
       }
       if (any_eligible) {
-        const bool ok = config_.channel_loss <= 0.0 || channel_.pickup_succeeds();
+        const bool ok = channel_.pickup_succeeds();
         if (ok) {
           auto it = box.begin();
           while (it != box.end()) {

@@ -4,6 +4,7 @@
 
 #include "roadnet/zoo.hpp"
 #include "util/assert.hpp"
+#include "util/units.hpp"
 
 namespace ivc::experiment {
 
@@ -177,6 +178,66 @@ ScenarioConfig roundabout_town_lossless(ScenarioScale s) {
   c.protocol.channel_loss = 0.0;  // Alg. 1's lossless model
   return c;
 }
+// --- sparse city-scale scenarios --------------------------------------------
+//
+// Probe-level traffic on city-scale maps (the regime of probe-based
+// counting: Aljamal et al., arXiv:2001.01119; measurement-location
+// diversification: Inoue et al., arXiv:2606.07556). A few hundred vehicles
+// occupy a map with thousands of lanes, so per-step engine cost must track
+// occupancy, not map size — these scenarios are the perf regression guard
+// for the engine's occupied-lane worklist (`ivc_bench --perf`,
+// BENCH_pr3.json).
+
+ScenarioConfig metro_grid_sparse(ScenarioScale s) {
+  ScenarioConfig c;
+  c.map.streets = smoke(s) ? 16 : 48;
+  c.map.avenues = smoke(s) ? 16 : 48;
+  c.vehicles_at_100pct = smoke(s) ? 320 : 1600;
+  c.arrival_rate_at_100pct = 0.2;
+  apply_common(c, s);
+  c.mode = SystemMode::Closed;
+  c.volume_pct = 25.0;  // ~400 probes on ~14k lanes at full scale
+  // These are constitution/perf-guard scenarios: report ferrying across a
+  // city-scale map at probe density takes sim-days (the existing zoo
+  // scenarios keep collection covered), so they gate on constitution.
+  c.protocol.collection = false;
+  // Label coverage of every directed edge of a 48x48 grid by a few hundred
+  // roaming probes is a long (sim-time) tail; steps are cheap when the
+  // engine cost is occupancy-bound, so the generous limit is fine.
+  c.time_limit_minutes = smoke(s) ? 360.0 : 960.0;
+  return c;
+}
+
+ScenarioConfig highway_web_sparse(ScenarioScale s) {
+  ScenarioConfig c;
+  roadnet::RandomWebConfig map;
+  map.nodes = smoke(s) ? 48 : 512;
+  map.radius = smoke(s) ? 1400.0 : 2400.0;
+  map.speed_limit = util::mph_to_mps(45.0);
+  map.extra_edge_factor = 1.2;
+  map.two_way_fraction = 0.4;
+  map.lanes = smoke(s) ? 2 : 3;  // highway mainlines: wide and mostly empty
+  c.map_name = "random-web";
+  c.gateway_stride = 8;
+  c.map_factory = [map](int stride) {
+    auto m = map;
+    m.gateway_stride = stride;
+    return roadnet::make_random_web(m);
+  };
+  c.vehicles_at_100pct = smoke(s) ? 240 : 320;
+  c.arrival_rate_at_100pct = 0.2;
+  // Rarely-driven chords stall the label handoff; the Theorem 3/4 patrol
+  // fleet bounds that tail. Worst-case marker coverage is one patrol gap:
+  // covering-cycle length / (patrols x 45 mph), ~310 min at this sizing.
+  c.num_patrol = smoke(s) ? 2 : 12;
+  apply_common(c, s);
+  c.mode = SystemMode::Closed;
+  c.volume_pct = 25.0;
+  c.protocol.collection = false;  // constitution/perf guard, like metro-grid
+  c.time_limit_minutes = smoke(s) ? 360.0 : 1440.0;
+  return c;
+}
+
 ScenarioConfig random_web_closed_steady(ScenarioScale s) {
   auto c = random_web_base(s);
   c.mode = SystemMode::Closed;
@@ -240,6 +301,12 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     r.add({"random-web-heavy-loss", "random-web", "steady",
            "random web with 50% channel loss (stress past the paper's 30%)",
            random_web_heavy_loss});
+    r.add({"metro-grid-sparse", "manhattan", "sparse",
+           "city-scale 48x48 grid at probe density — cost must track occupancy",
+           metro_grid_sparse});
+    r.add({"highway-web-sparse", "random-web", "sparse",
+           "large sparse web at 45 mph with a patrol fleet bounding the handoff tail",
+           highway_web_sparse});
     return r;
   }();
   return registry;

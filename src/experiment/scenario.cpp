@@ -145,6 +145,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   metrics.transits = engine.total_transits();
   metrics.total_spawned = engine.total_spawned();
   metrics.peak_vehicle_slots = engine.vehicles().size();
+  metrics.total_lanes = engine.total_lanes();
+  metrics.peak_occupied_lanes = engine.peak_occupied_lanes();
 
   (void)patrol;
   const auto wall_end = std::chrono::steady_clock::now();

@@ -92,6 +92,8 @@ struct RunMetrics {
   std::uint64_t transits = 0;
   std::uint64_t total_spawned = 0;
   std::size_t peak_vehicle_slots = 0;  // peak concurrent vehicles (slot store)
+  std::size_t total_lanes = 0;          // map size the engine must NOT pay for
+  std::size_t peak_occupied_lanes = 0;  // worklist high-water mark
   std::string collection_debug;  // non-empty when collection did not converge
   counting::ProtocolStats protocol_stats;
   std::uint64_t channel_failures = 0;

@@ -1,7 +1,6 @@
 #include "experiment/sweep.hpp"
 
 #include <atomic>
-#include <mutex>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -11,6 +10,9 @@ namespace ivc::experiment {
 
 std::vector<SweepCell> run_sweep(const SweepConfig& config, const ProgressFn& progress) {
   IVC_ASSERT(config.replicas >= 1);
+  // The replica index occupies the low 8 bits of the per-job seed salt;
+  // more replicas than that would collide with the next cell's stream.
+  IVC_ASSERT_MSG(config.replicas <= 256, "replica count must fit the 8-bit seed salt");
   struct Job {
     std::size_t cell;
     double volume;
@@ -31,7 +33,12 @@ std::vector<SweepCell> run_sweep(const SweepConfig& config, const ProgressFn& pr
     }
   }
 
-  std::mutex merge_mutex;
+  // Every job writes its metrics into a preallocated (cell, replica) slot;
+  // reduction happens serially in job order after the pool drains. Merging
+  // under a mutex in completion order would make the running means depend
+  // on thread scheduling (floating-point means do not commute), breaking
+  // the byte-identical-tables contract.
+  std::vector<RunMetrics> results(jobs.size());
   std::atomic<std::size_t> done{0};
   util::ThreadPool pool(config.threads);
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
@@ -40,39 +47,39 @@ std::vector<SweepCell> run_sweep(const SweepConfig& config, const ProgressFn& pr
     scenario.volume_pct = job.volume;
     scenario.num_seeds = job.seeds;
     // Replica seeds are derived from the base seed and the grid point, so
-    // every cell is independent and the whole sweep is reproducible
-    // regardless of thread scheduling.
+    // every cell is independent of thread scheduling.
     scenario.seed = util::derive_seed(
         config.base.seed, (static_cast<std::uint64_t>(job.cell) << 8) |
                               static_cast<std::uint64_t>(job.replica));
-    const RunMetrics metrics = run_scenario(scenario);
-
-    {
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      SweepCell& cell = cells[job.cell];
-      const auto n = static_cast<double>(cell.replicas + 1);
-      const auto mix = [&](double& acc, double value) { acc += (value - acc) / n; };
-      mix(cell.constitution_max_min, metrics.constitution_max_min);
-      mix(cell.constitution_min_min, metrics.constitution_min_min);
-      mix(cell.constitution_avg_min, metrics.constitution_avg_min);
-      mix(cell.collection_max_min, metrics.collection_max_min);
-      mix(cell.collection_min_min, metrics.collection_min_min);
-      mix(cell.collection_avg_min, metrics.collection_avg_min);
-      mix(cell.time_all_active_min, metrics.time_all_active_min);
-      mix(cell.wall_seconds, metrics.wall_seconds);
-      cell.total_truth += metrics.truth;
-      cell.total_protocol += metrics.protocol_total;
-      cell.constitution_converged =
-          cell.constitution_converged && metrics.constitution_converged;
-      cell.collection_converged =
-          cell.collection_converged &&
-          (!config.base.protocol.collection || metrics.collection_converged);
-      cell.all_exact = cell.all_exact && metrics.total_exact;
-      ++cell.replicas;
-    }
+    results[i] = run_scenario(scenario);
     const std::size_t completed = done.fetch_add(1) + 1;
     if (progress) progress(completed, jobs.size());
   });
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const RunMetrics& metrics = results[i];
+    SweepCell& cell = cells[job.cell];
+    const auto n = static_cast<double>(cell.replicas + 1);
+    const auto mix = [&](double& acc, double value) { acc += (value - acc) / n; };
+    mix(cell.constitution_max_min, metrics.constitution_max_min);
+    mix(cell.constitution_min_min, metrics.constitution_min_min);
+    mix(cell.constitution_avg_min, metrics.constitution_avg_min);
+    mix(cell.collection_max_min, metrics.collection_max_min);
+    mix(cell.collection_min_min, metrics.collection_min_min);
+    mix(cell.collection_avg_min, metrics.collection_avg_min);
+    mix(cell.time_all_active_min, metrics.time_all_active_min);
+    mix(cell.wall_seconds, metrics.wall_seconds);
+    cell.total_truth += metrics.truth;
+    cell.total_protocol += metrics.protocol_total;
+    cell.constitution_converged =
+        cell.constitution_converged && metrics.constitution_converged;
+    cell.collection_converged =
+        cell.collection_converged &&
+        (!config.base.protocol.collection || metrics.collection_converged);
+    cell.all_exact = cell.all_exact && metrics.total_exact;
+    ++cell.replicas;
+  }
   return cells;
 }
 

@@ -7,16 +7,6 @@
 
 namespace ivc::roadnet {
 
-const Intersection& RoadNetwork::intersection(NodeId id) const {
-  IVC_ASSERT(id.valid() && id.value() < intersections_.size());
-  return intersections_[id.value()];
-}
-
-const Segment& RoadNetwork::segment(EdgeId id) const {
-  IVC_ASSERT(id.valid() && id.value() < segments_.size());
-  return segments_[id.value()];
-}
-
 std::optional<EdgeId> RoadNetwork::edge_between(NodeId u, NodeId v) const {
   for (const EdgeId e : intersection(u).out_edges) {
     if (segment(e).to == v) return e;
@@ -61,12 +51,6 @@ std::size_t RoadNetwork::num_interior_segments() const {
 bool RoadNetwork::is_open_system() const {
   return std::any_of(segments_.begin(), segments_.end(),
                      [](const Segment& s) { return s.is_gateway(); });
-}
-
-double RoadNetwork::free_flow_time(EdgeId e) const {
-  const Segment& seg = segment(e);
-  IVC_ASSERT(seg.speed_limit > 0.0);
-  return seg.length / seg.speed_limit;
 }
 
 double RoadNetwork::approximate_diameter_m() const {

@@ -21,6 +21,7 @@
 #include "geom/polyline.hpp"
 #include "geom/vec2.hpp"
 #include "roadnet/types.hpp"
+#include "util/assert.hpp"
 
 namespace ivc::roadnet {
 
@@ -68,8 +69,23 @@ class RoadNetwork {
   [[nodiscard]] std::size_t num_intersections() const { return intersections_.size(); }
   [[nodiscard]] std::size_t num_segments() const { return segments_.size(); }
 
-  [[nodiscard]] const Intersection& intersection(NodeId id) const;
-  [[nodiscard]] const Segment& segment(EdgeId id) const;
+  // Inline (with the bounds assert kept): these are the hottest calls in
+  // the simulator — the engine and router resolve segments hundreds of
+  // times per step, and an out-of-line call was measurable at city scale.
+  [[nodiscard]] const Intersection& intersection(NodeId id) const {
+    IVC_ASSERT(id.valid() && id.value() < intersections_.size());
+    return intersections_[id.value()];
+  }
+  [[nodiscard]] const Segment& segment(EdgeId id) const {
+    IVC_ASSERT(id.valid() && id.value() < segments_.size());
+    return segments_[id.value()];
+  }
+  // Free-flow traversal time of an edge in seconds.
+  [[nodiscard]] double free_flow_time(EdgeId e) const {
+    const Segment& seg = segment(e);
+    IVC_ASSERT(seg.speed_limit > 0.0);
+    return seg.length / seg.speed_limit;
+  }
   [[nodiscard]] const std::vector<Intersection>& intersections() const {
     return intersections_;
   }
@@ -86,9 +102,6 @@ class RoadNetwork {
   [[nodiscard]] std::vector<NodeId> border_intersections() const;
   [[nodiscard]] std::size_t num_interior_segments() const;
   [[nodiscard]] bool is_open_system() const;
-
-  // Free-flow traversal time of an edge in seconds.
-  [[nodiscard]] double free_flow_time(EdgeId e) const;
 
   // Approximate network diameter in meters (max over shortest-path distances
   // from a corner node); used to calibrate experiment regions.

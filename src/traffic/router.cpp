@@ -1,6 +1,7 @@
 #include "traffic/router.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "roadnet/graph.hpp"
@@ -9,18 +10,47 @@
 namespace ivc::traffic {
 
 namespace {
+
+// Jitter in [0.75, 1.35] per request: route diversity that also flattens
+// edge betweenness (rarely-used edges stall the marker wave at low volume)
+// without maintaining congestion state. The lower bound also scales the A*
+// heuristic, so it must stay a true floor on the realized edge cost.
+constexpr double kJitterLo = 0.75;
+constexpr double kJitterHi = 1.35;
+
 struct QueueEntry {
-  double dist;
+  double estimate;  // g + heuristic (plain Dijkstra: heuristic = 0)
+  double dist;      // g: jittered cost from the source
   std::uint32_t node;
   friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.estimate != b.estimate) return a.estimate > b.estimate;
     return a.node > b.node;
   }
 };
 }  // namespace
 
 Router::Router(const roadnet::RoadNetwork& net, std::uint64_t seed)
-    : net_(net), rng_(seed) {}
+    : net_(net), rng_(seed) {
+  free_flow_.reserve(net_.num_segments());
+  double max_speed = 0.0;
+  // Admissibility guard: the builder accepts explicit segment lengths, and
+  // nothing forbids a length shorter than the straight-line distance
+  // between its endpoints (a tunnel-like shortcut). The heuristic divides
+  // by the worst such shortcut ratio so remaining-cost estimates stay true
+  // lower bounds on every buildable map.
+  double shortcut = 1.0;
+  for (const auto& seg : net_.segments()) {
+    free_flow_.push_back(net_.free_flow_time(seg.id));
+    max_speed = std::max(max_speed, seg.speed_limit);
+    if (seg.is_gateway()) continue;  // plan() never traverses gateways
+    const geom::Vec2 d = net_.intersection(seg.to).position -
+                         net_.intersection(seg.from).position;
+    const double euclid = std::sqrt(d.x * d.x + d.y * d.y);
+    if (euclid > 0.0) shortcut = std::min(shortcut, seg.length / euclid);
+  }
+  // Seconds of lower-bound travel per meter of straight-line distance.
+  heuristic_rate_ = max_speed > 0.0 ? kJitterLo * shortcut / max_speed : 0.0;
+}
 
 void Router::exclude_edge(roadnet::EdgeId e) { excluded_.insert(e); }
 
@@ -31,28 +61,35 @@ std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId 
   dist_.assign(n, roadnet::kUnreachable);
   parent_.assign(n, roadnet::EdgeId::invalid());
 
-  // Jitter in [0.75, 1.35] per request: route diversity that also flattens edge betweenness (rarely-used edges stall the marker wave at low volume) without
-  // maintaining congestion state.
-  const double jitter_lo = 0.75;
-  const double jitter_hi = 1.35;
+  // A* with an admissible, consistent heuristic: remaining cost is at
+  // least heuristic_rate_ seconds per straight-line meter (jitter floor /
+  // max speed, corrected for shortcut segments — see the constructor). On
+  // a city-scale grid this expands a corridor toward the destination
+  // instead of flooding the whole map (the planner runs inside the
+  // engine's step, so its cost is part of the per-step budget).
+  const geom::Vec2 goal = net_.intersection(to).position;
+  const auto heuristic = [&](roadnet::NodeId v) {
+    const geom::Vec2 d = net_.intersection(v).position - goal;
+    return heuristic_rate_ * std::sqrt(d.x * d.x + d.y * d.y);
+  };
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
   dist_[from.value()] = 0.0;
-  heap.push({0.0, from.value()});
+  heap.push({heuristic(from), 0.0, from.value()});
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
+    const auto [est, d, u] = heap.top();
     heap.pop();
     if (d > dist_[u]) continue;
     if (roadnet::NodeId{u} == to) break;
     for (const roadnet::EdgeId e : net_.intersection(roadnet::NodeId{u}).out_edges) {
       if (excluded_.contains(e)) continue;
       const auto v = net_.segment(e).to.value();
-      const double w = net_.free_flow_time(e) * rng_.uniform(jitter_lo, jitter_hi);
+      const double w = free_flow_[e.value()] * rng_.uniform(kJitterLo, kJitterHi);
       const double nd = d + w;
       if (nd < dist_[v]) {
         dist_[v] = nd;
         parent_[v] = e;
-        heap.push({nd, v});
+        heap.push({nd + heuristic(roadnet::NodeId{v}), nd, v});
       }
     }
   }

@@ -38,6 +38,14 @@ class Router {
   const roadnet::RoadNetwork& net_;
   util::Rng rng_;
   std::unordered_set<roadnet::EdgeId> excluded_;
+  // Free-flow time per edge, cached once: plan() relaxes tens of thousands
+  // of edges per second at city scale and must not re-derive static edge
+  // weights from the segment table every time.
+  std::vector<double> free_flow_;
+  // A* lower bound in seconds per straight-line meter: jitter floor over
+  // the fastest segment, corrected for shortcut segments (length shorter
+  // than the endpoint distance) so the heuristic stays admissible.
+  double heuristic_rate_ = 0.0;
   // Scratch buffers reused across plan() calls.
   std::vector<double> dist_;
   std::vector<roadnet::EdgeId> parent_;

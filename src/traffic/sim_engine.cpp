@@ -23,9 +23,11 @@ SimEngine::SimEngine(const roadnet::RoadNetwork& net, SimConfig config)
   std::size_t total_lanes = 0;
   for (const auto& seg : net_.segments()) {
     lane_offset_[seg.id.value()] = total_lanes;
+    for (int lane = 0; lane < seg.lanes; ++lane) lane_refs_.push_back({seg.id, lane});
     total_lanes += static_cast<std::size_t>(seg.lanes);
   }
   lanes_.resize(total_lanes);
+  edge_count_.assign(net_.num_segments(), 0);
   node_candidates_.resize(net_.num_intersections());
 }
 
@@ -48,10 +50,6 @@ const std::vector<VehicleId>& SimEngine::lane_vehicles(roadnet::EdgeId edge, int
   return lanes_[lane_index(edge, lane)];
 }
 
-std::vector<VehicleId>& SimEngine::lane_mut(roadnet::EdgeId edge, int lane) {
-  return lanes_[lane_index(edge, lane)];
-}
-
 const Vehicle& SimEngine::vehicle(VehicleId id) const {
   IVC_ASSERT(id.valid() && id.slot() < vehicles_.size());
   IVC_ASSERT_MSG(vehicles_[id.slot()].id == id, "stale vehicle id (slot recycled)");
@@ -64,25 +62,50 @@ const Vehicle* SimEngine::find_vehicle(VehicleId id) const {
   return veh.id == id ? &veh : nullptr;
 }
 
-std::size_t SimEngine::vehicles_on_edge(roadnet::EdgeId edge) const {
-  std::size_t n = 0;
-  for (int lane = 0; lane < net_.segment(edge).lanes; ++lane) {
-    n += lane_vehicles(edge, lane).size();
-  }
-  return n;
-}
-
 double SimEngine::mean_speed() const {
   double sum = 0.0;
   for (const VehicleId id : alive_) sum += vehicles_[id.slot()].speed;
   return alive_.empty() ? 0.0 : sum / static_cast<double>(alive_.size());
 }
 
+void SimEngine::mark_lane_occupied(std::size_t index) {
+  const auto value = static_cast<std::uint32_t>(index);
+  const auto it = std::lower_bound(occupied_lanes_.begin(), occupied_lanes_.end(), value);
+  occupied_lanes_.insert(it, value);
+  peak_occupied_lanes_ = std::max(peak_occupied_lanes_, occupied_lanes_.size());
+}
+
+void SimEngine::mark_lane_empty(std::size_t index) {
+  const auto value = static_cast<std::uint32_t>(index);
+  const auto it = std::lower_bound(occupied_lanes_.begin(), occupied_lanes_.end(), value);
+  IVC_ASSERT(it != occupied_lanes_.end() && *it == value);
+  occupied_lanes_.erase(it);
+}
+
+bool SimEngine::debug_occupancy_consistent() const {
+  std::vector<std::uint32_t> expected;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (!lanes_[i].empty()) expected.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (expected != occupied_lanes_) return false;  // same set, same (sorted) order
+  for (const auto& seg : net_.segments()) {
+    std::size_t n = 0;
+    for (int lane = 0; lane < seg.lanes; ++lane) {
+      n += lanes_[lane_index(seg.id, lane)].size();
+    }
+    if (n != edge_count_[seg.id.value()]) return false;
+  }
+  return true;
+}
+
 void SimEngine::remove_from_lane(const Vehicle& veh) {
-  auto& lane = lane_mut(veh.edge, veh.lane);
+  const std::size_t index = lane_index(veh.edge, veh.lane);
+  auto& lane = lanes_[index];
   const auto it = std::find(lane.begin(), lane.end(), veh.id);
   IVC_ASSERT(it != lane.end());
   lane.erase(it);
+  if (lane.empty()) mark_lane_empty(index);
+  --edge_count_[veh.edge.value()];
 }
 
 void SimEngine::insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane,
@@ -91,7 +114,10 @@ void SimEngine::insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane,
   veh.lane = lane;
   veh.position = position;
   veh.prev_position = position;
-  auto& vehicles = lane_mut(edge, lane);
+  const std::size_t index = lane_index(edge, lane);
+  auto& vehicles = lanes_[index];
+  if (vehicles.empty()) mark_lane_occupied(index);
+  ++edge_count_[edge.value()];
   const auto it = std::lower_bound(vehicles.begin(), vehicles.end(), position,
                                    [this](VehicleId id, double pos) {
                                      return vehicles_[id.slot()].position < pos;
@@ -228,69 +254,78 @@ roadnet::EdgeId SimEngine::ensure_next_edge(Vehicle& veh, roadnet::NodeId node) 
 
 void SimEngine::apply_lane_changes() {
   if (!config_.allow_lane_change) return;
-  for (const auto& seg : net_.segments()) {
+  // Snapshot the worklist: a move into a previously-empty lane must not
+  // grow the iteration space mid-phase (the mover is cooldown-gated, so
+  // skipping its new lane is equivalent to the full scan visiting it).
+  scratch_lanes_.assign(occupied_lanes_.begin(), occupied_lanes_.end());
+  for (const std::uint32_t index : scratch_lanes_) {
+    auto& lane_list = lanes_[index];
+    // A vehicle alone in its lane never wants out (`wants_out` needs a
+    // close leader), so only multi-vehicle lanes can produce moves.
+    if (lane_list.size() < 2) continue;
+    const LaneRef ref = lane_refs_[index];
+    const auto& seg = net_.segment(ref.edge);
     if (seg.lanes < 2) continue;
-    // Collect desired moves, then apply with re-validation; front-most first
-    // so a move doesn't invalidate the decision of the vehicle behind it.
-    for (int lane = 0; lane < seg.lanes; ++lane) {
-      auto& lane_list = lane_mut(seg.id, lane);
-      for (std::size_t i = lane_list.size(); i-- > 0;) {
-        Vehicle& veh = vehicles_[lane_list[i].slot()];
-        if (veh.lane_change_cooldown > 0) continue;
-        if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
-        if (veh.position > seg.length - config_.intersection_lookahead) continue;
-        // Current leader gap.
-        double lead_gap = kInf;
-        double lead_speed = kInf;
-        if (i + 1 < lane_list.size()) {
-          const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-          lead_gap = leader.position - leader.length - veh.position;
-          lead_speed = leader.speed;
-        }
-        const double desired = veh.desired_speed(seg.speed_limit);
-        const bool wants_out =
-            lead_gap < veh.speed * veh.driver.headway * 1.5 && lead_speed < 0.85 * desired;
-        if (!wants_out) continue;
+    const int lane = ref.lane;
+    // Apply with re-validation, front-most first, so a move doesn't
+    // invalidate the decision of the vehicle behind it.
+    for (std::size_t i = lane_list.size(); i-- > 0;) {
+      Vehicle& veh = vehicles_[lane_list[i].slot()];
+      if (veh.lane_change_cooldown > 0) continue;
+      if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
+      if (veh.position > seg.length - config_.intersection_lookahead) continue;
+      // Current leader gap.
+      double lead_gap = kInf;
+      double lead_speed = kInf;
+      if (i + 1 < lane_list.size()) {
+        const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+        lead_gap = leader.position - leader.length - veh.position;
+        lead_speed = leader.speed;
+      }
+      const double desired = veh.desired_speed(seg.speed_limit);
+      const bool wants_out =
+          lead_gap < veh.speed * veh.driver.headway * 1.5 && lead_speed < 0.85 * desired;
+      if (!wants_out) continue;
 
-        int best_lane = -1;
-        double best_gain = lead_gap;
-        for (const int target : {lane - 1, lane + 1}) {
-          if (target < 0 || target >= seg.lanes) continue;
-          const auto& tgt = lane_vehicles(seg.id, target);
-          const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
-                                           [this](VehicleId id, double pos) {
-                                             return vehicles_[id.slot()].position < pos;
-                                           });
-          double tgt_lead_gap = kInf;
-          if (it != tgt.end()) {
-            const Vehicle& tl = vehicles_[it->slot()];
-            tgt_lead_gap = tl.position - tl.length - veh.position;
-          }
-          double tgt_follow_gap = kInf;
-          double follower_speed = 0.0;
-          if (it != tgt.begin()) {
-            const Vehicle& tf = vehicles_[(it - 1)->slot()];
-            tgt_follow_gap = veh.position - veh.length - tf.position;
-            follower_speed = tf.speed;
-          }
-          const bool safe = tgt_lead_gap > veh.driver.min_gap + 1.0 &&
-                            tgt_follow_gap > veh.driver.min_gap + 0.5 * follower_speed;
-          if (safe && tgt_lead_gap > best_gain * 1.2) {
-            best_gain = tgt_lead_gap;
-            best_lane = target;
-          }
+      int best_lane = -1;
+      double best_gain = lead_gap;
+      for (const int target : {lane - 1, lane + 1}) {
+        if (target < 0 || target >= seg.lanes) continue;
+        const auto& tgt = lane_vehicles(seg.id, target);
+        const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
+                                         [this](VehicleId id, double pos) {
+                                           return vehicles_[id.slot()].position < pos;
+                                         });
+        double tgt_lead_gap = kInf;
+        if (it != tgt.end()) {
+          const Vehicle& tl = vehicles_[it->slot()];
+          tgt_lead_gap = tl.position - tl.length - veh.position;
         }
-        if (best_lane >= 0) {
-          const double pos = veh.position;
-          remove_from_lane(veh);
-          insert_into_lane(veh, seg.id, best_lane, pos);
-          // Keep prev_position so the overtake detector sees the continuing
-          // longitudinal trajectory, not a teleport.
-          veh.prev_position = std::min(veh.prev_position, pos);
-          veh.lane_change_cooldown = 10;
-          // `lane_list` was not touched for `target != lane`, but the index
-          // set shrank if best_lane == lane (impossible); continue safely.
+        double tgt_follow_gap = kInf;
+        double follower_speed = 0.0;
+        if (it != tgt.begin()) {
+          const Vehicle& tf = vehicles_[(it - 1)->slot()];
+          tgt_follow_gap = veh.position - veh.length - tf.position;
+          follower_speed = tf.speed;
         }
+        const bool safe = tgt_lead_gap > veh.driver.min_gap + 1.0 &&
+                          tgt_follow_gap > veh.driver.min_gap + 0.5 * follower_speed;
+        if (safe && tgt_lead_gap > best_gain * 1.2) {
+          best_gain = tgt_lead_gap;
+          best_lane = target;
+        }
+      }
+      if (best_lane >= 0) {
+        const double pos = veh.position;
+        remove_from_lane(veh);
+        insert_into_lane(veh, seg.id, best_lane, pos);
+        // Keep prev_position so the overtake detector sees the continuing
+        // longitudinal trajectory, not a teleport.
+        veh.prev_position = std::min(veh.prev_position, pos);
+        veh.lane_change_cooldown = 10;
+        // `remove_from_lane` erased entry i from `lane_list`; the
+        // descending index loop only visits indices below i afterwards,
+        // so the erase can neither skip nor revisit a vehicle.
       }
     }
   }
@@ -298,59 +333,78 @@ void SimEngine::apply_lane_changes() {
 
 void SimEngine::update_dynamics() {
   const double dt = config_.dt;
-  for (const auto& seg : net_.segments()) {
+  // Dynamics never changes lane membership, so the live worklist is safe
+  // to iterate directly (ascending = the old full-scan order).
+  for (std::size_t w = 0; w < occupied_lanes_.size(); ++w) {
+    const std::uint32_t index = occupied_lanes_[w];
+    if (w + 1 < occupied_lanes_.size()) {
+      // On a city-scale map the occupied lanes are scattered across a
+      // lane table far larger than cache; overlap the next lane's loads
+      // with this lane's integration.
+      const std::uint32_t next_index = occupied_lanes_[w + 1];
+      __builtin_prefetch(lanes_[next_index].data());
+      __builtin_prefetch(&net_.segment(lane_refs_[next_index].edge));
+    }
+    const auto& seg = net_.segment(lane_refs_[index].edge);
     const bool outbound_gateway = seg.is_outbound_gateway();
-    for (int lane = 0; lane < seg.lanes; ++lane) {
-      auto& lane_list = lane_mut(seg.id, lane);
-      // Front-to-back so each follower clamps against its leader's *new*
-      // position (sequential update; collision-free by construction).
-      for (std::size_t i = lane_list.size(); i-- > 0;) {
-        Vehicle& veh = vehicles_[lane_list[i].slot()];
-        // Vehicles already past the end are waiting for admission.
-        if (veh.position >= seg.length) {
-          veh.speed = 0.0;
-          continue;
-        }
-        double gap = kInf;
-        double lead_speed = 0.0;
-        if (i + 1 < lane_list.size()) {
-          const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-          gap = std::min(leader.position, seg.length) - leader.length - veh.position;
-          lead_speed = leader.speed;
-        } else if (!outbound_gateway &&
-                   veh.position > seg.length - config_.intersection_lookahead) {
-          // Front vehicle near the intersection: check whether the next edge
-          // can take it; if not, treat the stop line as a standing obstacle.
-          const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
-          if (pick_entry_lane(next, veh.length) < 0) {
-            gap = (seg.length - kStopMargin) - veh.position;
-            lead_speed = 0.0;
-          }
-        }
-        const double desired = veh.desired_speed(seg.speed_limit);
-        const double accel =
-            idm_acceleration(veh.speed, desired, gap, veh.speed - lead_speed, veh.driver);
-        double v = std::clamp(veh.speed + accel * dt, 0.0, desired);
-        double pos = veh.position + v * dt;
-        // Overlap clamp against the (already updated) leader.
-        if (i + 1 < lane_list.size()) {
-          const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-          const double limit = leader.position - leader.length - kMinSeparation;
-          if (pos > limit) {
-            pos = std::max(veh.position, limit);
-            v = (pos - veh.position) / dt;
-          }
-        } else if (std::isfinite(gap)) {
-          // Blocked at the stop line.
-          const double limit = seg.length - kStopMargin;
-          if (pos > limit) {
-            pos = std::max(veh.position, limit);
-            v = (pos - veh.position) / dt;
-          }
-        }
-        veh.position = pos;
-        veh.speed = v;
+    auto& lane_list = lanes_[index];
+    // Front-to-back so each follower clamps against its leader's *new*
+    // position (sequential update; collision-free by construction).
+    for (std::size_t i = lane_list.size(); i-- > 0;) {
+      if (i > 0) __builtin_prefetch(&vehicles_[lane_list[i - 1].slot()]);
+      Vehicle& veh = vehicles_[lane_list[i].slot()];
+      // Vehicles already past the end are waiting for admission.
+      if (veh.position >= seg.length) {
+        veh.speed = 0.0;
+        continue;
       }
+      double gap = kInf;
+      double lead_speed = 0.0;
+      if (i + 1 < lane_list.size()) {
+        const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+        gap = std::min(leader.position, seg.length) - leader.length - veh.position;
+        lead_speed = leader.speed;
+      } else if (!outbound_gateway &&
+                 veh.position > seg.length - config_.intersection_lookahead) {
+        // Front vehicle near the intersection: check whether the next edge
+        // can take it; if not, treat the stop line as a standing obstacle.
+        // An empty next edge always has room (pick_entry_lane would return
+        // lane 0), so the lane scan is only needed when it is occupied.
+        const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
+        if (edge_count_[next.value()] != 0 && pick_entry_lane(next, veh.length) < 0) {
+          gap = (seg.length - kStopMargin) - veh.position;
+          lead_speed = 0.0;
+        }
+      }
+      const double desired = veh.desired_speed(seg.speed_limit);
+      const double accel =
+          idm_acceleration(veh.speed, desired, gap, veh.speed - lead_speed, veh.driver);
+      double v = std::clamp(veh.speed + accel * dt, 0.0, desired);
+      double pos = veh.position + v * dt;
+      // Overlap clamp against the (already updated) leader.
+      if (i + 1 < lane_list.size()) {
+        const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+        // The leader may be waiting for admission beyond the segment end;
+        // the follower has passed no admission check, so its limit is also
+        // capped at the stop line (mirroring the std::min(leader.position,
+        // seg.length) the IDM gap above uses). Only the lane's front
+        // vehicle may cross seg.length and become a transit candidate.
+        const double limit = std::min(leader.position - leader.length - kMinSeparation,
+                                      seg.length - kStopMargin);
+        if (pos > limit) {
+          pos = std::max(veh.position, limit);
+          v = (pos - veh.position) / dt;
+        }
+      } else if (std::isfinite(gap)) {
+        // Blocked at the stop line.
+        const double limit = seg.length - kStopMargin;
+        if (pos > limit) {
+          pos = std::max(veh.position, limit);
+          v = (pos - veh.position) / dt;
+        }
+      }
+      veh.position = pos;
+      veh.speed = v;
     }
   }
 }
@@ -381,27 +435,32 @@ void SimEngine::detect_overtakes() {
 }
 
 void SimEngine::process_transits() {
-  for (auto& c : node_candidates_) c.clear();
-
-  for (const auto& seg : net_.segments()) {
-    for (int lane = 0; lane < seg.lanes; ++lane) {
-      const auto& lane_list = lane_vehicles(seg.id, lane);
-      if (lane_list.empty()) continue;
-      const Vehicle& front = vehicles_[lane_list.back().slot()];
-      if (front.position < seg.length) continue;
-      if (seg.is_outbound_gateway()) {
-        // Reached the outside world: despawn.
-        despawn(vehicles_[front.id.slot()], seg.id);
-        continue;
-      }
-      node_candidates_[seg.to.value()].push_back(
-          {front.id, seg.id, front.position - seg.length});
+  // Gateway despawns mutate the worklist mid-scan, so walk a snapshot.
+  // Ascending lane-index order keeps despawn events in the segment-major
+  // order the full scan emitted.
+  scratch_lanes_.assign(occupied_lanes_.begin(), occupied_lanes_.end());
+  for (const std::uint32_t index : scratch_lanes_) {
+    const auto& lane_list = lanes_[index];
+    if (lane_list.empty()) continue;
+    const auto& seg = net_.segment(lane_refs_[index].edge);
+    const Vehicle& front = vehicles_[lane_list.back().slot()];
+    if (front.position < seg.length) continue;
+    if (seg.is_outbound_gateway()) {
+      // Reached the outside world: despawn.
+      despawn(vehicles_[front.id.slot()], seg.id);
+      continue;
     }
+    auto& candidates = node_candidates_[seg.to.value()];
+    if (candidates.empty()) active_nodes_.push_back(seg.to);
+    candidates.push_back({front.id, seg.id, front.position - seg.length});
   }
 
-  for (const auto& node : net_.intersections()) {
+  // Only intersections that actually received a candidate, in node-id
+  // order (matching the old every-intersection sweep, minus the no-ops).
+  std::sort(active_nodes_.begin(), active_nodes_.end());
+  for (const roadnet::NodeId node_id : active_nodes_) {
+    const auto& node = net_.intersection(node_id);
     auto& candidates = node_candidates_[node.id.value()];
-    if (candidates.empty()) continue;
     // Earlier arrivals (larger overflow) first; deterministic tie-break.
     std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
       if (a.overflow != b.overflow) return a.overflow > b.overflow;
@@ -427,7 +486,10 @@ void SimEngine::process_transits() {
 
       Vehicle& veh = vehicles_[cand.veh.slot()];
       const roadnet::EdgeId next = ensure_next_edge(veh, node.id);
-      const int entry_lane = pick_entry_lane(next, veh.length);
+      // Empty next edge: pick_entry_lane would scan all lanes and settle
+      // on lane 0; the counter makes that the common sparse case O(1).
+      const int entry_lane =
+          edge_count_[next.value()] == 0 ? 0 : pick_entry_lane(next, veh.length);
       if (entry_lane < 0) continue;  // no room; wait at the stop line
 
       const std::uint64_t from_entry_seq = veh.entry_seq;
@@ -451,7 +513,9 @@ void SimEngine::process_transits() {
       push_event(TransitEvent{now_, veh.id, node.id, cand.from_edge, next,
                               from_entry_seq});
     }
+    candidates.clear();
   }
+  active_nodes_.clear();
 }
 
 void SimEngine::despawn(Vehicle& veh, roadnet::EdgeId edge) {

@@ -15,6 +15,15 @@
 // random draw comes from seeded streams. This is what makes the parallel
 // benchmark sweeps reproducible.
 //
+// Cost model: every per-step phase is O(occupied lanes + vehicles), not
+// O(total lanes). The engine maintains a sorted worklist of non-empty
+// lanes (updated by insert_into_lane/remove_from_lane) and drives lane
+// changes, dynamics and transit collection off it, so a sparse city-scale
+// map costs what its traffic costs, not what its area costs. The worklist
+// is kept in ascending lane-index order, which is exactly the
+// segment-major order a full map scan would visit, so event streams are
+// bit-identical to the scan they replaced.
+//
 // Model notes:
 //  * "Simple road model" (paper Sec. III-A): single-lane roads, no lane
 //    changes, one admission per intersection per step -> strictly FIFO
@@ -131,9 +140,22 @@ class SimEngine {
   [[nodiscard]] std::uint64_t events_emitted() const { return events_emitted_; }
   [[nodiscard]] const std::vector<VehicleId>& lane_vehicles(roadnet::EdgeId edge,
                                                             int lane) const;
-  [[nodiscard]] std::size_t vehicles_on_edge(roadnet::EdgeId edge) const;
+  // O(1): per-edge occupancy counter maintained with the lane lists.
+  [[nodiscard]] std::size_t vehicles_on_edge(roadnet::EdgeId edge) const {
+    return edge_count_[edge.value()];
+  }
   [[nodiscard]] double mean_speed() const;
   [[nodiscard]] std::uint64_t total_transits() const { return total_transits_; }
+  // Number of non-empty lanes (the step phases iterate exactly these).
+  [[nodiscard]] std::size_t occupied_lane_count() const { return occupied_lanes_.size(); }
+  // High-water mark of the worklist and the total lane count: the perf
+  // report uses their ratio as the sparsity of a scenario.
+  [[nodiscard]] std::size_t peak_occupied_lanes() const { return peak_occupied_lanes_; }
+  [[nodiscard]] std::size_t total_lanes() const { return lanes_.size(); }
+  // Debug validation hook: true when the occupied-lane worklist is sorted,
+  // duplicate-free and exactly matches the set of non-empty lanes. O(total
+  // lanes) — tests and assertions only, never on the step path.
+  [[nodiscard]] bool debug_occupancy_consistent() const;
 
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
@@ -143,7 +165,6 @@ class SimEngine {
     int lane;
   };
 
-  std::vector<VehicleId>& lane_mut(roadnet::EdgeId edge, int lane);
   [[nodiscard]] std::size_t lane_index(roadnet::EdgeId edge, int lane) const;
 
   void apply_lane_changes();
@@ -163,6 +184,10 @@ class SimEngine {
 
   void remove_from_lane(const Vehicle& veh);
   void insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane, double position);
+
+  // Occupied-lane worklist bookkeeping (0 <-> >0 transitions only).
+  void mark_lane_occupied(std::size_t index);
+  void mark_lane_empty(std::size_t index);
 
   // Slot allocation: pop the free list (bumping the generation) or grow.
   [[nodiscard]] VehicleId allocate_slot();
@@ -199,6 +224,16 @@ class SimEngine {
   // (back() is the front-most vehicle).
   std::vector<std::vector<VehicleId>> lanes_;
   std::vector<std::size_t> lane_offset_;  // per edge
+  std::vector<LaneRef> lane_refs_;        // lane index -> (edge, lane)
+
+  // Indices of non-empty lanes, ascending — i.e. segment-major scan order.
+  // Phases that mutate occupancy mid-iteration (lane changes, transits)
+  // walk a snapshot in scratch_lanes_ instead of the live list.
+  std::vector<std::uint32_t> occupied_lanes_;
+  std::vector<std::uint32_t> scratch_lanes_;
+  std::size_t peak_occupied_lanes_ = 0;
+  std::vector<std::uint32_t> edge_count_;      // vehicles per edge (all lanes)
+  std::vector<roadnet::NodeId> active_nodes_;  // nodes with transit candidates
 
   // Sorted by id: iteration order is deterministic across standard
   // libraries (an unordered_set here would make the overtake event order —

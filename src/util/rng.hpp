@@ -41,18 +41,39 @@ class Rng {
   [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
 
   result_type operator()() { return next(); }
-  std::uint64_t next();
 
-  // Uniform double in [0, 1).
-  double uniform();
+  // The hot draws are inline: Dijkstra edge jitter, IDM noise and channel
+  // trials call these millions of times per second, and an out-of-line
+  // call per draw was measurable at city scale.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1): 53 high bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
   // Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    IVC_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+  // Bernoulli trial.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
   // Uniform integer in [0, n). n must be > 0.
   std::uint64_t uniform_index(std::uint64_t n);
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
-  // Bernoulli trial.
-  bool bernoulli(double p);
   // Standard normal via Marsaglia polar method (cached spare).
   double normal(double mean = 0.0, double stddev = 1.0);
   // Exponential with given rate (mean 1/rate); used for Poisson arrivals.
@@ -73,6 +94,10 @@ class Rng {
   [[nodiscard]] Rng split();
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;
   bool has_spare_normal_ = false;

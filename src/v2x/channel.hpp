@@ -24,9 +24,14 @@ class Channel {
 
   // Handoff to a moving vehicle (label or message pickup). A failure is
   // detected by the missing ack, so the caller can compensate and retry.
-  // Every draw is counted so benches can report retransmission overhead.
+  // Every exchange is counted — including lossless operation, where the
+  // exchange still happens, cannot fail, and consumes no randomness — so
+  // benches can compare attempt volume across loss configurations. Call
+  // sites must route lossless pickups through here rather than
+  // short-circuiting on the loss probability, or attempts() undercounts.
   [[nodiscard]] bool pickup_succeeds() {
     ++attempts_;
+    if (loss_probability_ <= 0.0) return true;
     const bool ok = !rng_.bernoulli(loss_probability_);
     if (!ok) ++failures_;
     return ok;

@@ -119,6 +119,13 @@ TEST_P(LossyClosedTest, TotalExactUnderLossAndOvertakes) {
     // The compensation machinery must actually have been exercised.
     EXPECT_GT(protocol.stats().label_handoff_failures, 0u);
   }
+  // "Every exchange is counted": attempt statistics hold on lossless runs
+  // too — call sites route pickups through the channel instead of
+  // short-circuiting on the loss probability.
+  EXPECT_GT(protocol.channel().attempts(), 0u);
+  if (param.loss == 0.0) {
+    EXPECT_EQ(protocol.channel().failures(), 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

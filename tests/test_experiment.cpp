@@ -112,6 +112,45 @@ TEST(Sweep, DeterministicRegardlessOfThreads) {
   }
 }
 
+TEST(Sweep, ByteIdenticalTablesAcrossInvocations) {
+  // Replica metrics are reduced in fixed (cell, replica) order after the
+  // pool drains — never in thread-completion order, where running means
+  // over doubles would differ run to run. Two identical invocations must
+  // produce byte-identical cell tables (exact float equality, not
+  // near-equality). Replicas > 1 are essential: a single replica hides any
+  // order dependence in the reduction.
+  SweepConfig sweep;
+  sweep.volumes_pct = {40, 80};
+  sweep.seed_counts = {1, 2};
+  sweep.replicas = 3;
+  sweep.base = tiny_config();
+  sweep.base.time_limit_minutes = 90.0;
+  sweep.threads = 4;  // more workers than cores: completion order scrambles
+  const auto a = run_sweep(sweep);
+  const auto b = run_sweep(sweep);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].volume_pct, b[i].volume_pct);
+    EXPECT_EQ(a[i].num_seeds, b[i].num_seeds);
+    EXPECT_EQ(a[i].replicas, b[i].replicas);
+    // Bitwise-equal floats: the byte-identical-tables contract.
+    EXPECT_EQ(a[i].constitution_max_min, b[i].constitution_max_min);
+    EXPECT_EQ(a[i].constitution_min_min, b[i].constitution_min_min);
+    EXPECT_EQ(a[i].constitution_avg_min, b[i].constitution_avg_min);
+    EXPECT_EQ(a[i].collection_max_min, b[i].collection_max_min);
+    EXPECT_EQ(a[i].collection_min_min, b[i].collection_min_min);
+    EXPECT_EQ(a[i].collection_avg_min, b[i].collection_avg_min);
+    EXPECT_EQ(a[i].time_all_active_min, b[i].time_all_active_min);
+    EXPECT_EQ(a[i].total_truth, b[i].total_truth);
+    EXPECT_EQ(a[i].total_protocol, b[i].total_protocol);
+    EXPECT_EQ(a[i].constitution_converged, b[i].constitution_converged);
+    EXPECT_EQ(a[i].collection_converged, b[i].collection_converged);
+    EXPECT_EQ(a[i].all_exact, b[i].all_exact);
+    // wall_seconds is wall-clock and legitimately differs between runs.
+  }
+}
+
 TEST(Sweep, ProgressCallbackCoversAllJobs) {
   SweepConfig sweep;
   sweep.volumes_pct = {80};

@@ -2,6 +2,7 @@
 // admission discipline, gateways, overtake detection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -314,6 +315,72 @@ TEST(Engine, MultiLaneOvertakeDetected) {
     if (ev.watched == slow && ev.other == fast && ev.other_now_ahead) overtaken = true;
   }
   EXPECT_TRUE(overtaken);
+}
+
+// Regression (stop-line admission): a follower behind a leader that is
+// waiting for admission *past* the segment end must itself hold at the
+// stop line — it has passed no admission check. The overlap clamp used to
+// derive the follower's limit from the leader's raw position, which lands
+// past the stop line whenever the leader's overflow beyond the end exceeds
+// its body length; only the IDM gap (already capped at the segment end)
+// kept followers out of the intersection box, and only for driver
+// parameters that brake hard enough. The clamp now enforces the invariant
+// structurally: no non-front vehicle ever crosses the stop line.
+TEST(Engine, FollowerBehindStuckLeaderHoldsAtStopLine) {
+  roadnet::NetworkBuilder b;
+  roadnet::RoadSpec fast;
+  fast.lanes = 1;
+  fast.speed_limit = 25.0;
+  const NodeId a = b.add_intersection({0, 0});
+  const NodeId c = b.add_intersection({0, 60});
+  const NodeId x = b.add_intersection({600, 0});
+  const NodeId y = b.add_intersection({800, 0});
+  const EdgeId ax = b.add_one_way(a, x, fast, 600.0);
+  const EdgeId cx = b.add_one_way(c, x, fast, 600.0);
+  const EdgeId xy = b.add_one_way(x, y, fast, 200.0);
+  const EdgeId ya = b.add_one_way(y, a, fast, 700.0);  // close the loop
+  b.add_one_way(y, c, fast, 700.0);  // strong connectivity needs C reachable
+  const RoadNetwork net = b.build();
+
+  SimEngine engine(net, SimConfig::simple_model());
+  // Cork: a parked vehicle (desired speed 0) leaving room for exactly one
+  // entrant at the start of X->Y.
+  ASSERT_TRUE(
+      engine.spawn_at(xy, 0, 10.6, sedan(), Route{{ya}, 0, false}, 0.0).valid());
+  // Twin racers at identical positions on the two approaches: identical
+  // dynamics give identical overflow, and the admission tie-break (smaller
+  // id wins) deterministically strands the later-spawned racer past the
+  // segment end once the winner has plugged the remaining room on X->Y.
+  const VehicleId winner = engine.spawn_at(cx, 0, 560.0, sedan(), Route{{xy}, 0, false});
+  const VehicleId loser = engine.spawn_at(ax, 0, 560.0, sedan(), Route{{xy}, 0, false});
+  // The follower gets a long run-up so it reaches the stop line fast.
+  const VehicleId follower = engine.spawn_at(ax, 0, 380.0, sedan(), Route{{xy}, 0, false});
+  ASSERT_TRUE(winner.valid() && loser.valid() && follower.valid());
+
+  const double seg_len = net.segment(ax).length;
+  const double stop_line = seg_len - 0.5;  // kStopMargin
+  bool leader_stranded = false;
+  double follower_peak = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    engine.step();
+    // The invariant under test: only the front vehicle of a lane may be
+    // past the stop line; every follower stops behind it.
+    const auto& lane = engine.lane_vehicles(ax, 0);
+    for (std::size_t k = 0; k + 1 < lane.size(); ++k) {
+      ASSERT_LE(engine.vehicle(lane[k]).position, stop_line + 1e-9)
+          << "follower crossed the stop line at step " << i;
+    }
+    const Vehicle& stuck = engine.vehicle(loser);
+    if (stuck.edge == ax && stuck.position >= seg_len) leader_stranded = true;
+    const Vehicle& f = engine.vehicle(follower);
+    if (f.edge == ax) follower_peak = std::max(follower_peak, f.position);
+  }
+  // Non-vacuity: the loser really waited beyond the end (its overflow makes
+  // the naive leader-based limit land past the stop line), and the follower
+  // really pressed up against the stop line behind it.
+  EXPECT_TRUE(leader_stranded);
+  EXPECT_GT(engine.vehicle(loser).position, seg_len);
+  EXPECT_GT(follower_peak, seg_len - 10.0);
 }
 
 TEST(Engine, RunForAdvancesClock) {

@@ -44,8 +44,9 @@ struct ChurnWorld {
   Router router;
   DemandModel demand;
 
-  explicit ChurnWorld(std::uint64_t seed, double arrival_rate = 0.6)
-      : net(open_grid(5, 4)),
+  explicit ChurnWorld(std::uint64_t seed, double arrival_rate = 0.6, int streets = 5,
+                      int avenues = 4)
+      : net(open_grid(streets, avenues)),
         engine(net,
                [seed] {
                  SimConfig c;
@@ -170,6 +171,33 @@ TEST(Lifecycle, SlotReuseBumpsGenerationAndDetectsStaleIds) {
   EXPECT_EQ(obus.find(first), nullptr);    // old generation evicted
 }
 
+// The occupied-lane worklist is the engine's per-step iteration space; it
+// must exactly match the set of non-empty lanes through every kind of
+// churn — spawns, gateway despawns, lane changes on the multi-lane
+// avenues, transits, and slot recycling.
+TEST(Lifecycle, OccupiedLaneWorklistMatchesNonEmptyLanes) {
+  ChurnWorld world(31);
+  ASSERT_TRUE(world.engine.debug_occupancy_consistent());  // empty engine
+  world.demand.init_population();
+  ASSERT_TRUE(world.engine.debug_occupancy_consistent());
+  bool recycled = false;
+  for (int i = 0; i < 2500; ++i) {
+    world.demand.update();
+    world.engine.step();
+    if (i % 25 == 0) {
+      ASSERT_TRUE(world.engine.debug_occupancy_consistent()) << "step " << i;
+    }
+    for (const VehicleId id : world.engine.alive_vehicles()) {
+      if (id.generation() > 0) recycled = true;
+    }
+  }
+  EXPECT_TRUE(world.engine.debug_occupancy_consistent());
+  // The PR 2 regime really occurred: slots were recycled mid-run, so the
+  // worklist survived remove/insert cycles on reused vehicle slots.
+  EXPECT_TRUE(recycled);
+  EXPECT_GT(world.engine.occupied_lane_count(), 0u);
+}
+
 // FNV-1a over every field of every event, in delivery order: a full
 // event-stream fingerprint.
 class StreamHash final : public SimObserver {
@@ -235,6 +263,32 @@ TEST(Lifecycle, EventStreamBitExactAcrossRuns) {
   const std::uint64_t first = run(77);
   EXPECT_EQ(first, run(77));   // same seed -> identical event stream
   EXPECT_NE(first, run(78));   // different seed -> different stream
+}
+
+TEST(Lifecycle, EventStreamBitExactOnSparseMap) {
+  // The occupied-lane worklist drives every phase on this map: a 12x12
+  // grid with a thin fleet leaves most lanes empty, so event order is
+  // produced by worklist iteration, not an incidental full-map scan. Two
+  // runs must still agree bit-for-bit (the worklist is kept in the
+  // segment-major order the scan used to visit).
+  const auto run = [](std::uint64_t seed) {
+    ChurnWorld world(seed, /*arrival_rate=*/0.35, /*streets=*/12, /*avenues=*/12);
+    StreamHash hash;
+    world.engine.add_observer(&hash);
+    world.demand.init_population();
+    const auto& alive = world.engine.alive_vehicles();
+    for (std::size_t i = 0; i < std::min<std::size_t>(alive.size(), 12); ++i) {
+      world.engine.set_watched(alive[i], true);
+    }
+    world.run(1200);
+    // Sparse means sparse: the worklist must stay far below the lane count.
+    EXPECT_LT(world.engine.occupied_lane_count(),
+              world.engine.network().num_segments());
+    return hash.value();
+  };
+  const std::uint64_t first = run(91);
+  EXPECT_EQ(first, run(91));
+  EXPECT_NE(first, run(92));
 }
 
 TEST(Lifecycle, EventsAreDeliveredInGenerationOrderOncePerStep) {

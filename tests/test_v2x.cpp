@@ -12,6 +12,17 @@ TEST(Channel, ZeroLossAlwaysSucceeds) {
   for (int i = 0; i < 1000; ++i) EXPECT_TRUE(ch.pickup_succeeds());
 }
 
+TEST(Channel, ZeroLossStillCountsEveryAttempt) {
+  // The "every exchange is counted" contract holds on lossless runs: call
+  // sites route the pickup through the channel instead of short-circuiting
+  // on the loss probability, so attempt volume is comparable across loss
+  // configurations.
+  Channel ch(0.0, 1);
+  for (int i = 0; i < 250; ++i) ASSERT_TRUE(ch.pickup_succeeds());
+  EXPECT_EQ(ch.attempts(), 250u);
+  EXPECT_EQ(ch.failures(), 0u);
+}
+
 TEST(Channel, FullLossAlwaysFails) {
   Channel ch(1.0, 1);
   for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ch.pickup_succeeds());
