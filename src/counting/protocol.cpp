@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <variant>
 
 #include "util/assert.hpp"
+#include "util/string_util.hpp"
 
 namespace ivc::counting {
 
@@ -113,15 +115,57 @@ std::string CountingProtocol::debug_collection_state() const {
   std::size_t pending_out = 0;
   std::size_t unissued_out = 0;
   std::size_t missing_child_reports = 0;
+  // The first stuck checkpoint in node order, with the reason it cannot
+  // report — aggregates say *that* collection stalled, this says *where*.
+  std::string stuck;
   for (const auto& cp : checkpoints_) {
     if (!cp.is_stable()) ++unstable;
     if (!cp.report_sent()) ++unreported;
+    std::size_t cp_pending = 0;
+    std::size_t cp_unissued = 0;
     for (const auto& out : cp.outbound()) {
-      if (out.outcome == LabelOutcome::Pending) ++pending_out;
-      if (out.outcome == LabelOutcome::NotIssued) ++unissued_out;
+      if (out.outcome == LabelOutcome::Pending) ++cp_pending;
+      if (out.outcome == LabelOutcome::NotIssued) ++cp_unissued;
     }
+    pending_out += cp_pending;
+    unissued_out += cp_unissued;
+    std::size_t cp_missing = 0;
+    roadnet::NodeId first_missing_child = roadnet::NodeId::invalid();
     for (const auto child : cp.children()) {
-      if (!cp.child_reports().contains(child.value())) ++missing_child_reports;
+      if (!cp.child_reports().contains(child.value())) {
+        if (++cp_missing == 1) first_missing_child = child;
+      }
+    }
+    missing_child_reports += cp_missing;
+    if (stuck.empty() && !cp.report_sent()) {
+      std::string why;
+      if (!cp.is_stable()) {
+        why = "still counting";
+      } else if (cp_pending + cp_unissued > 0) {
+        why = util::format("markers unresolved (%zu pending, %zu unissued)", cp_pending,
+                           cp_unissued);
+      } else if (cp_missing > 0) {
+        why = util::format("waiting on %zu child report(s), first from node %u", cp_missing,
+                           first_missing_child.value());
+      } else {
+        why = "ready but report unsent";
+      }
+      stuck = util::format(" stuck_cp=%u(%s)", cp.node().value(), why.c_str());
+    }
+  }
+  // Outbox backlog by message class, plus the oldest stranded message —
+  // which class is stuck and between which checkpoints.
+  std::size_t stuck_acks = 0;
+  std::size_t stuck_reports = 0;
+  const StampedMessage* oldest = nullptr;
+  for (const auto& box : outbox_) {
+    for (const auto& stamped : box) {
+      if (std::holds_alternative<v2x::TreeAck>(stamped.msg.payload)) {
+        ++stuck_acks;
+      } else {
+        ++stuck_reports;
+      }
+      if (oldest == nullptr || stamped.since < oldest->since) oldest = &stamped;
     }
   }
   std::string s = "unreported=" + std::to_string(unreported) +
@@ -130,8 +174,17 @@ std::string CountingProtocol::debug_collection_state() const {
                   " out_unissued=" + std::to_string(unissued_out) +
                   " missing_child_reports=" + std::to_string(missing_child_reports) +
                   " outbox=" + std::to_string(outbox_backlog()) +
+                  " outbox_tree_ack=" + std::to_string(stuck_acks) +
+                  " outbox_report=" + std::to_string(stuck_reports) +
                   " cargo=" + std::to_string(obus_.cargo_in_flight()) +
-                  " labels_in_flight=" + std::to_string(obus_.labels_in_flight());
+                  " labels_in_flight=" + std::to_string(obus_.labels_in_flight()) + stuck;
+  if (oldest != nullptr) {
+    s += util::format(
+        " oldest_msg=%s %u->%u since=%.1fmin",
+        std::holds_alternative<v2x::TreeAck>(oldest->msg.payload) ? "tree_ack" : "report",
+        oldest->msg.source.value(), oldest->msg.destination.value(),
+        oldest->since.minutes());
+  }
   return s;
 }
 

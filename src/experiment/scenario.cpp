@@ -26,6 +26,10 @@ std::string ScenarioConfig::describe() const {
 }
 
 RunMetrics run_scenario(const ScenarioConfig& config) {
+  return run_scenario_with(config, RunHooks{});
+}
+
+RunMetrics run_scenario_with(const ScenarioConfig& config, const RunHooks& hooks) {
   const auto wall_start = std::chrono::steady_clock::now();
   RunMetrics metrics;
 
@@ -42,7 +46,10 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 
   traffic::SimConfig sim = config.sim;
   sim.seed = util::derive_seed(config.seed, "engine");
-  traffic::SimEngine engine(net, sim);
+  const std::unique_ptr<traffic::SimEngine> engine_storage =
+      hooks.make_engine ? hooks.make_engine(net, sim)
+                        : std::make_unique<traffic::SimEngine>(net, sim);
+  traffic::SimEngine& engine = *engine_storage;
   engine.set_perf(config.perf);
 
   traffic::Router router(net, util::derive_seed(config.seed, "router"));
@@ -53,15 +60,23 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   demand_config.arrival_rate_at_100pct = config.arrival_rate_at_100pct;
   demand_config.seed = util::derive_seed(config.seed, "demand");
   traffic::DemandModel demand(engine, router, demand_config);
-  engine.set_route_planner([&demand](traffic::VehicleId veh, roadnet::NodeId node) {
-    return demand.plan_continuation(veh, node);
-  });
+  if (hooks.filter_continuation) {
+    engine.set_route_planner(
+        [&demand, &hooks](traffic::VehicleId veh, roadnet::NodeId node) {
+          return hooks.filter_continuation(veh, node, demand.plan_continuation(veh, node));
+        });
+  } else {
+    engine.set_route_planner([&demand](traffic::VehicleId veh, roadnet::NodeId node) {
+      return demand.plan_continuation(veh, node);
+    });
+  }
 
   counting::ProtocolConfig protocol_config = config.protocol;
   protocol_config.seed = util::derive_seed(config.seed, "protocol");
   counting::CountingProtocol protocol(engine, protocol_config);
   counting::Oracle oracle(engine, surveillance::Recognizer(protocol_config.target));
   protocol.set_oracle(&oracle);
+  for (traffic::SimObserver* obs : hooks.observers) engine.add_observer(obs);
 
   counting::PatrolFleet* patrol = nullptr;
   std::unique_ptr<counting::PatrolFleet> patrol_storage;
@@ -147,6 +162,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   metrics.peak_vehicle_slots = engine.vehicles().size();
   metrics.total_lanes = engine.total_lanes();
   metrics.peak_occupied_lanes = engine.peak_occupied_lanes();
+
+  if (hooks.on_finish) hooks.on_finish(engine, protocol, oracle);
 
   (void)patrol;
   const auto wall_end = std::chrono::steady_clock::now();

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "counting/config.hpp"
 #include "counting/protocol.hpp"
@@ -101,7 +103,38 @@ struct RunMetrics {
   double wall_seconds = 0.0;
 };
 
+// Instrumentation points for a scenario run. The differential-testing
+// harness (src/testing/) uses these to run the same fully-wired scenario —
+// demand, protocol, oracle, patrol — on a substitute engine (the reference
+// kernel, or a deliberately broken engine under test), to fingerprint the
+// event stream, and to validate every route continuation. All members are
+// optional; a default-constructed RunHooks reproduces run_scenario exactly.
+struct RunHooks {
+  // Engine factory; defaults to a plain SimEngine. The returned engine must
+  // be freshly constructed from exactly `net` and `sim` (the runner derives
+  // `sim.seed` before calling).
+  std::function<std::unique_ptr<traffic::SimEngine>(const roadnet::RoadNetwork& net,
+                                                    traffic::SimConfig sim)>
+      make_engine;
+  // Registered on the engine after the protocol (events are delivered by
+  // value, so observer order cannot change what each observer sees).
+  std::vector<traffic::SimObserver*> observers;
+  // Wraps every demand-planned route continuation; may inspect/validate and
+  // must return the route to use (normally `planned`, unmodified).
+  std::function<traffic::Route(traffic::VehicleId, roadnet::NodeId, traffic::Route planned)>
+      filter_continuation;
+  // Invoked after the run loop, before the world is torn down: the only
+  // point where engine/protocol/oracle internals (per-checkpoint totals,
+  // live population) can be captured beyond what RunMetrics carries.
+  std::function<void(const traffic::SimEngine&, const counting::CountingProtocol&,
+                     const counting::Oracle&)>
+      on_finish;
+};
+
 // Execute one scenario to convergence (or the time limit).
 [[nodiscard]] RunMetrics run_scenario(const ScenarioConfig& config);
+// Same, with instrumentation hooks (see RunHooks).
+[[nodiscard]] RunMetrics run_scenario_with(const ScenarioConfig& config,
+                                           const RunHooks& hooks);
 
 }  // namespace ivc::experiment

@@ -1,0 +1,60 @@
+// Randomized scenario generation for the differential harness.
+//
+// Every fuzz case — topology family and parameters, demand profile,
+// protocol configuration (channel loss in [0, 0.9], seed count, patrols),
+// simulation toggles and run length — is derived deterministically from a
+// single uint64 case seed, so any case is printable and replayable from
+// that one number (`ivc_fuzz --replay SEED`).
+//
+// The top byte of the case seed encodes a shrink level: the same base case
+// re-derived at reduced run length, demand, and/or topology scale. A
+// shrunk reproducer is therefore itself a single replayable seed — the
+// DiffRunner's minimization loop just searches over the top byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "experiment/scenario.hpp"
+
+namespace ivc::testing {
+
+// Shrink directives packed into bits 56..63 of a case seed.
+struct ShrinkSpec {
+  int length_halvings = 0;  // 0..3: time limit / 2^k
+  bool halve_demand = false;
+  int scale_steps = 0;  // 0..3: topology size reduction steps
+
+  [[nodiscard]] bool any() const {
+    return length_halvings > 0 || halve_demand || scale_steps > 0;
+  }
+  [[nodiscard]] std::string describe() const;  // e.g. "L2+D+S1", "none"
+};
+
+inline constexpr int kShrinkShift = 56;
+inline constexpr std::uint64_t kBaseSeedMask = (1ULL << kShrinkShift) - 1;
+
+// Case seed #index of a fuzz campaign: the one derivation shared by the
+// ivc_fuzz CLI and the CTest seed bank, so a bank failure's printed
+// `ivc_fuzz --replay` command reproduces the exact same case. The top
+// byte is masked: campaign cases always start unshrunk.
+[[nodiscard]] std::uint64_t campaign_case_seed(std::uint64_t campaign_seed,
+                                               std::uint64_t index);
+
+[[nodiscard]] std::uint64_t pack_shrink(const ShrinkSpec& spec);
+[[nodiscard]] ShrinkSpec unpack_shrink(std::uint64_t case_seed);
+// Same base case, different shrink level.
+[[nodiscard]] std::uint64_t with_shrink(std::uint64_t case_seed, const ShrinkSpec& spec);
+
+struct FuzzCase {
+  std::uint64_t case_seed = 0;  // full seed, shrink byte included
+  ShrinkSpec shrink;
+  experiment::ScenarioConfig config;
+  std::string summary;  // printable one-liner: every generated knob
+};
+
+// Deterministic: the same seed always yields the same case (config and
+// summary), on every platform.
+[[nodiscard]] FuzzCase make_fuzz_case(std::uint64_t case_seed);
+
+}  // namespace ivc::testing

@@ -11,12 +11,11 @@ namespace ivc::traffic {
 
 namespace {
 
-// Jitter in [0.75, 1.35] per request: route diversity that also flattens
-// edge betweenness (rarely-used edges stall the marker wave at low volume)
-// without maintaining congestion state. The lower bound also scales the A*
+// The jitter bounds live on the class (the differential harness checks
+// planned routes against them); the lower bound also scales the A*
 // heuristic, so it must stay a true floor on the realized edge cost.
-constexpr double kJitterLo = 0.75;
-constexpr double kJitterHi = 1.35;
+constexpr double kJitterLo = Router::kJitterLo;
+constexpr double kJitterHi = Router::kJitterHi;
 
 struct QueueEntry {
   double estimate;  // g + heuristic (plain Dijkstra: heuristic = 0)

@@ -17,6 +17,16 @@ namespace ivc::traffic {
 
 class Router {
  public:
+  // Per-request multiplicative jitter bounds on the free-flow edge cost:
+  // route diversity that also flattens edge betweenness without maintaining
+  // congestion state. Public because they bound every planned route's
+  // free-flow cost relative to the unjittered optimum — any plan() result P
+  // satisfies free_flow(P) <= (kJitterHi / kJitterLo) * free_flow(optimal),
+  // the property the differential-testing harness checks against a naive
+  // Dijkstra reference (src/testing/reference_kernel.hpp).
+  static constexpr double kJitterLo = 0.75;
+  static constexpr double kJitterHi = 1.35;
+
   Router(const roadnet::RoadNetwork& net, std::uint64_t seed);
 
   // Edges that demand refuses to route over (they remain drivable; the

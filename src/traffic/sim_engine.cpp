@@ -258,81 +258,82 @@ void SimEngine::apply_lane_changes() {
   // grow the iteration space mid-phase (the mover is cooldown-gated, so
   // skipping its new lane is equivalent to the full scan visiting it).
   scratch_lanes_.assign(occupied_lanes_.begin(), occupied_lanes_.end());
-  for (const std::uint32_t index : scratch_lanes_) {
-    auto& lane_list = lanes_[index];
-    // A vehicle alone in its lane never wants out (`wants_out` needs a
-    // close leader), so only multi-vehicle lanes can produce moves.
-    if (lane_list.size() < 2) continue;
-    const LaneRef ref = lane_refs_[index];
-    const auto& seg = net_.segment(ref.edge);
-    if (seg.lanes < 2) continue;
-    const int lane = ref.lane;
-    // Apply with re-validation, front-most first, so a move doesn't
-    // invalidate the decision of the vehicle behind it.
-    for (std::size_t i = lane_list.size(); i-- > 0;) {
-      Vehicle& veh = vehicles_[lane_list[i].slot()];
-      if (veh.lane_change_cooldown > 0) continue;
-      if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
-      if (veh.position > seg.length - config_.intersection_lookahead) continue;
-      // Current leader gap.
-      double lead_gap = kInf;
-      double lead_speed = kInf;
-      if (i + 1 < lane_list.size()) {
-        const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-        lead_gap = leader.position - leader.length - veh.position;
-        lead_speed = leader.speed;
-      }
-      const double desired = veh.desired_speed(seg.speed_limit);
-      const bool wants_out =
-          lead_gap < veh.speed * veh.driver.headway * 1.5 && lead_speed < 0.85 * desired;
-      if (!wants_out) continue;
+  for (const std::uint32_t index : scratch_lanes_) lane_change_pass(index);
+}
 
-      int best_lane = -1;
-      double best_gain = lead_gap;
-      for (const int target : {lane - 1, lane + 1}) {
-        if (target < 0 || target >= seg.lanes) continue;
-        const auto& tgt = lane_vehicles(seg.id, target);
-        const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
-                                         [this](VehicleId id, double pos) {
-                                           return vehicles_[id.slot()].position < pos;
-                                         });
-        double tgt_lead_gap = kInf;
-        if (it != tgt.end()) {
-          const Vehicle& tl = vehicles_[it->slot()];
-          tgt_lead_gap = tl.position - tl.length - veh.position;
-        }
-        double tgt_follow_gap = kInf;
-        double follower_speed = 0.0;
-        if (it != tgt.begin()) {
-          const Vehicle& tf = vehicles_[(it - 1)->slot()];
-          tgt_follow_gap = veh.position - veh.length - tf.position;
-          follower_speed = tf.speed;
-        }
-        const bool safe = tgt_lead_gap > veh.driver.min_gap + 1.0 &&
-                          tgt_follow_gap > veh.driver.min_gap + 0.5 * follower_speed;
-        if (safe && tgt_lead_gap > best_gain * 1.2) {
-          best_gain = tgt_lead_gap;
-          best_lane = target;
-        }
+void SimEngine::lane_change_pass(std::uint32_t index) {
+  auto& lane_list = lanes_[index];
+  // A vehicle alone in its lane never wants out (`wants_out` needs a
+  // close leader), so only multi-vehicle lanes can produce moves.
+  if (lane_list.size() < 2) return;
+  const LaneRef ref = lane_refs_[index];
+  const auto& seg = net_.segment(ref.edge);
+  if (seg.lanes < 2) return;
+  const int lane = ref.lane;
+  // Apply with re-validation, front-most first, so a move doesn't
+  // invalidate the decision of the vehicle behind it.
+  for (std::size_t i = lane_list.size(); i-- > 0;) {
+    Vehicle& veh = vehicles_[lane_list[i].slot()];
+    if (veh.lane_change_cooldown > 0) continue;
+    if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
+    if (veh.position > seg.length - config_.intersection_lookahead) continue;
+    // Current leader gap.
+    double lead_gap = kInf;
+    double lead_speed = kInf;
+    if (i + 1 < lane_list.size()) {
+      const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+      lead_gap = leader.position - leader.length - veh.position;
+      lead_speed = leader.speed;
+    }
+    const double desired = veh.desired_speed(seg.speed_limit);
+    const bool wants_out =
+        lead_gap < veh.speed * veh.driver.headway * 1.5 && lead_speed < 0.85 * desired;
+    if (!wants_out) continue;
+
+    int best_lane = -1;
+    double best_gain = lead_gap;
+    for (const int target : {lane - 1, lane + 1}) {
+      if (target < 0 || target >= seg.lanes) continue;
+      const auto& tgt = lane_vehicles(seg.id, target);
+      const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
+                                       [this](VehicleId id, double pos) {
+                                         return vehicles_[id.slot()].position < pos;
+                                       });
+      double tgt_lead_gap = kInf;
+      if (it != tgt.end()) {
+        const Vehicle& tl = vehicles_[it->slot()];
+        tgt_lead_gap = tl.position - tl.length - veh.position;
       }
-      if (best_lane >= 0) {
-        const double pos = veh.position;
-        remove_from_lane(veh);
-        insert_into_lane(veh, seg.id, best_lane, pos);
-        // Keep prev_position so the overtake detector sees the continuing
-        // longitudinal trajectory, not a teleport.
-        veh.prev_position = std::min(veh.prev_position, pos);
-        veh.lane_change_cooldown = 10;
-        // `remove_from_lane` erased entry i from `lane_list`; the
-        // descending index loop only visits indices below i afterwards,
-        // so the erase can neither skip nor revisit a vehicle.
+      double tgt_follow_gap = kInf;
+      double follower_speed = 0.0;
+      if (it != tgt.begin()) {
+        const Vehicle& tf = vehicles_[(it - 1)->slot()];
+        tgt_follow_gap = veh.position - veh.length - tf.position;
+        follower_speed = tf.speed;
       }
+      const bool safe = tgt_lead_gap > veh.driver.min_gap + 1.0 &&
+                        tgt_follow_gap > veh.driver.min_gap + 0.5 * follower_speed;
+      if (safe && tgt_lead_gap > best_gain * 1.2) {
+        best_gain = tgt_lead_gap;
+        best_lane = target;
+      }
+    }
+    if (best_lane >= 0) {
+      const double pos = veh.position;
+      remove_from_lane(veh);
+      insert_into_lane(veh, seg.id, best_lane, pos);
+      // Keep prev_position so the overtake detector sees the continuing
+      // longitudinal trajectory, not a teleport.
+      veh.prev_position = std::min(veh.prev_position, pos);
+      veh.lane_change_cooldown = 10;
+      // `remove_from_lane` erased entry i from `lane_list`; the
+      // descending index loop only visits indices below i afterwards,
+      // so the erase can neither skip nor revisit a vehicle.
     }
   }
 }
 
 void SimEngine::update_dynamics() {
-  const double dt = config_.dt;
   // Dynamics never changes lane membership, so the live worklist is safe
   // to iterate directly (ascending = the old full-scan order).
   for (std::size_t w = 0; w < occupied_lanes_.size(); ++w) {
@@ -345,67 +346,72 @@ void SimEngine::update_dynamics() {
       __builtin_prefetch(lanes_[next_index].data());
       __builtin_prefetch(&net_.segment(lane_refs_[next_index].edge));
     }
-    const auto& seg = net_.segment(lane_refs_[index].edge);
-    const bool outbound_gateway = seg.is_outbound_gateway();
-    auto& lane_list = lanes_[index];
-    // Front-to-back so each follower clamps against its leader's *new*
-    // position (sequential update; collision-free by construction).
-    for (std::size_t i = lane_list.size(); i-- > 0;) {
-      if (i > 0) __builtin_prefetch(&vehicles_[lane_list[i - 1].slot()]);
-      Vehicle& veh = vehicles_[lane_list[i].slot()];
-      // Vehicles already past the end are waiting for admission.
-      if (veh.position >= seg.length) {
-        veh.speed = 0.0;
-        continue;
-      }
-      double gap = kInf;
-      double lead_speed = 0.0;
-      if (i + 1 < lane_list.size()) {
-        const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-        gap = std::min(leader.position, seg.length) - leader.length - veh.position;
-        lead_speed = leader.speed;
-      } else if (!outbound_gateway &&
-                 veh.position > seg.length - config_.intersection_lookahead) {
-        // Front vehicle near the intersection: check whether the next edge
-        // can take it; if not, treat the stop line as a standing obstacle.
-        // An empty next edge always has room (pick_entry_lane would return
-        // lane 0), so the lane scan is only needed when it is occupied.
-        const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
-        if (edge_count_[next.value()] != 0 && pick_entry_lane(next, veh.length) < 0) {
-          gap = (seg.length - kStopMargin) - veh.position;
-          lead_speed = 0.0;
-        }
-      }
-      const double desired = veh.desired_speed(seg.speed_limit);
-      const double accel =
-          idm_acceleration(veh.speed, desired, gap, veh.speed - lead_speed, veh.driver);
-      double v = std::clamp(veh.speed + accel * dt, 0.0, desired);
-      double pos = veh.position + v * dt;
-      // Overlap clamp against the (already updated) leader.
-      if (i + 1 < lane_list.size()) {
-        const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-        // The leader may be waiting for admission beyond the segment end;
-        // the follower has passed no admission check, so its limit is also
-        // capped at the stop line (mirroring the std::min(leader.position,
-        // seg.length) the IDM gap above uses). Only the lane's front
-        // vehicle may cross seg.length and become a transit candidate.
-        const double limit = std::min(leader.position - leader.length - kMinSeparation,
-                                      seg.length - kStopMargin);
-        if (pos > limit) {
-          pos = std::max(veh.position, limit);
-          v = (pos - veh.position) / dt;
-        }
-      } else if (std::isfinite(gap)) {
-        // Blocked at the stop line.
-        const double limit = seg.length - kStopMargin;
-        if (pos > limit) {
-          pos = std::max(veh.position, limit);
-          v = (pos - veh.position) / dt;
-        }
-      }
-      veh.position = pos;
-      veh.speed = v;
+    dynamics_pass(index);
+  }
+}
+
+void SimEngine::dynamics_pass(std::uint32_t index) {
+  const double dt = config_.dt;
+  const auto& seg = net_.segment(lane_refs_[index].edge);
+  const bool outbound_gateway = seg.is_outbound_gateway();
+  auto& lane_list = lanes_[index];
+  // Front-to-back so each follower clamps against its leader's *new*
+  // position (sequential update; collision-free by construction).
+  for (std::size_t i = lane_list.size(); i-- > 0;) {
+    if (i > 0) __builtin_prefetch(&vehicles_[lane_list[i - 1].slot()]);
+    Vehicle& veh = vehicles_[lane_list[i].slot()];
+    // Vehicles already past the end are waiting for admission.
+    if (veh.position >= seg.length) {
+      veh.speed = 0.0;
+      continue;
     }
+    double gap = kInf;
+    double lead_speed = 0.0;
+    if (i + 1 < lane_list.size()) {
+      const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+      gap = std::min(leader.position, seg.length) - leader.length - veh.position;
+      lead_speed = leader.speed;
+    } else if (!outbound_gateway &&
+               veh.position > seg.length - config_.intersection_lookahead) {
+      // Front vehicle near the intersection: check whether the next edge
+      // can take it; if not, treat the stop line as a standing obstacle.
+      // An empty next edge always has room (pick_entry_lane would return
+      // lane 0), so the lane scan is only needed when it is occupied.
+      const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
+      if (edge_count_[next.value()] != 0 && pick_entry_lane(next, veh.length) < 0) {
+        gap = (seg.length - kStopMargin) - veh.position;
+        lead_speed = 0.0;
+      }
+    }
+    const double desired = veh.desired_speed(seg.speed_limit);
+    const double accel =
+        idm_acceleration(veh.speed, desired, gap, veh.speed - lead_speed, veh.driver);
+    double v = std::clamp(veh.speed + accel * dt, 0.0, desired);
+    double pos = veh.position + v * dt;
+    // Overlap clamp against the (already updated) leader.
+    if (i + 1 < lane_list.size()) {
+      const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+      // The leader may be waiting for admission beyond the segment end;
+      // the follower has passed no admission check, so its limit is also
+      // capped at the stop line (mirroring the std::min(leader.position,
+      // seg.length) the IDM gap above uses). Only the lane's front
+      // vehicle may cross seg.length and become a transit candidate.
+      const double limit = std::min(leader.position - leader.length - kMinSeparation,
+                                    seg.length - kStopMargin);
+      if (pos > limit) {
+        pos = std::max(veh.position, limit);
+        v = (pos - veh.position) / dt;
+      }
+    } else if (std::isfinite(gap)) {
+      // Blocked at the stop line.
+      const double limit = seg.length - kStopMargin;
+      if (pos > limit) {
+        pos = std::max(veh.position, limit);
+        v = (pos - veh.position) / dt;
+      }
+    }
+    veh.position = pos;
+    veh.speed = v;
   }
 }
 
@@ -439,83 +445,87 @@ void SimEngine::process_transits() {
   // Ascending lane-index order keeps despawn events in the segment-major
   // order the full scan emitted.
   scratch_lanes_.assign(occupied_lanes_.begin(), occupied_lanes_.end());
-  for (const std::uint32_t index : scratch_lanes_) {
-    const auto& lane_list = lanes_[index];
-    if (lane_list.empty()) continue;
-    const auto& seg = net_.segment(lane_refs_[index].edge);
-    const Vehicle& front = vehicles_[lane_list.back().slot()];
-    if (front.position < seg.length) continue;
-    if (seg.is_outbound_gateway()) {
-      // Reached the outside world: despawn.
-      despawn(vehicles_[front.id.slot()], seg.id);
-      continue;
-    }
-    auto& candidates = node_candidates_[seg.to.value()];
-    if (candidates.empty()) active_nodes_.push_back(seg.to);
-    candidates.push_back({front.id, seg.id, front.position - seg.length});
-  }
+  for (const std::uint32_t index : scratch_lanes_) collect_transit_candidates(index);
 
   // Only intersections that actually received a candidate, in node-id
   // order (matching the old every-intersection sweep, minus the no-ops).
   std::sort(active_nodes_.begin(), active_nodes_.end());
-  for (const roadnet::NodeId node_id : active_nodes_) {
-    const auto& node = net_.intersection(node_id);
-    auto& candidates = node_candidates_[node.id.value()];
-    // Earlier arrivals (larger overflow) first; deterministic tie-break.
-    std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
-      if (a.overflow != b.overflow) return a.overflow > b.overflow;
-      return a.veh < b.veh;
-    });
-
-    // Admission budget: extended model (or any roundabout) admits one
-    // vehicle per approach per step; the simple model admits a single
-    // vehicle per intersection per step ("only one vehicle is allowed to
-    // enter the intersection and make the turn").
-    const bool per_approach =
-        config_.multi_admission || node.kind == roadnet::IntersectionKind::Roundabout;
-    // Approaches admitted this step; a plain vector beats a hash set at the
-    // handful of approaches an intersection has.
-    used_approaches_.clear();
-    int admitted = 0;
-    for (const Candidate& cand : candidates) {
-      if (!per_approach && admitted >= 1) break;
-      if (per_approach && std::find(used_approaches_.begin(), used_approaches_.end(),
-                                    cand.from_edge) != used_approaches_.end()) {
-        continue;
-      }
-
-      Vehicle& veh = vehicles_[cand.veh.slot()];
-      const roadnet::EdgeId next = ensure_next_edge(veh, node.id);
-      // Empty next edge: pick_entry_lane would scan all lanes and settle
-      // on lane 0; the counter makes that the common sparse case O(1).
-      const int entry_lane =
-          edge_count_[next.value()] == 0 ? 0 : pick_entry_lane(next, veh.length);
-      if (entry_lane < 0) continue;  // no room; wait at the stop line
-
-      const std::uint64_t from_entry_seq = veh.entry_seq;
-      const bool was_inside = !net_.segment(cand.from_edge).is_gateway();
-      const bool now_inside = !net_.segment(next).is_gateway();
-      remove_from_lane(veh);
-      veh.route.advance();
-      insert_into_lane(veh, next, entry_lane, 0.0);
-      veh.entry_seq = ++entry_seq_counter_;
-      ++admitted;
-      used_approaches_.push_back(cand.from_edge);
-      ++total_transits_;
-      if (!veh.is_patrol && was_inside != now_inside) {
-        if (now_inside) {
-          ++population_inside_;
-        } else {
-          --population_inside_;
-        }
-      }
-
-      push_event(TransitEvent{now_, veh.id, node.id, cand.from_edge, next,
-                              from_entry_seq});
-    }
-    candidates.clear();
-  }
+  for (const roadnet::NodeId node_id : active_nodes_) admit_at_node(node_id);
   active_nodes_.clear();
+}
+
+void SimEngine::collect_transit_candidates(std::uint32_t index) {
+  const auto& lane_list = lanes_[index];
+  if (lane_list.empty()) return;
+  const auto& seg = net_.segment(lane_refs_[index].edge);
+  const Vehicle& front = vehicles_[lane_list.back().slot()];
+  if (front.position < seg.length) return;
+  if (seg.is_outbound_gateway()) {
+    // Reached the outside world: despawn.
+    despawn(vehicles_[front.id.slot()], seg.id);
+    return;
+  }
+  auto& candidates = node_candidates_[seg.to.value()];
+  if (candidates.empty()) active_nodes_.push_back(seg.to);
+  candidates.push_back({front.id, seg.id, front.position - seg.length});
+}
+
+void SimEngine::admit_at_node(roadnet::NodeId node_id) {
+  const auto& node = net_.intersection(node_id);
+  auto& candidates = node_candidates_[node.id.value()];
+  // Earlier arrivals (larger overflow) first; deterministic tie-break.
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.overflow != b.overflow) return a.overflow > b.overflow;
+    return a.veh < b.veh;
+  });
+
+  // Admission budget: extended model (or any roundabout) admits one
+  // vehicle per approach per step; the simple model admits a single
+  // vehicle per intersection per step ("only one vehicle is allowed to
+  // enter the intersection and make the turn").
+  const bool per_approach =
+      config_.multi_admission || node.kind == roadnet::IntersectionKind::Roundabout;
+  // Approaches admitted this step; a plain vector beats a hash set at the
+  // handful of approaches an intersection has.
+  used_approaches_.clear();
+  int admitted = 0;
+  for (const Candidate& cand : candidates) {
+    if (!per_approach && admitted >= 1) break;
+    if (per_approach && std::find(used_approaches_.begin(), used_approaches_.end(),
+                                  cand.from_edge) != used_approaches_.end()) {
+      continue;
+    }
+
+    Vehicle& veh = vehicles_[cand.veh.slot()];
+    const roadnet::EdgeId next = ensure_next_edge(veh, node.id);
+    // Empty next edge: pick_entry_lane would scan all lanes and settle
+    // on lane 0; the counter makes that the common sparse case O(1).
+    const int entry_lane =
+        edge_count_[next.value()] == 0 ? 0 : pick_entry_lane(next, veh.length);
+    if (entry_lane < 0) continue;  // no room; wait at the stop line
+
+    const std::uint64_t from_entry_seq = veh.entry_seq;
+    const bool was_inside = !net_.segment(cand.from_edge).is_gateway();
+    const bool now_inside = !net_.segment(next).is_gateway();
+    remove_from_lane(veh);
+    veh.route.advance();
+    insert_into_lane(veh, next, entry_lane, 0.0);
+    veh.entry_seq = ++entry_seq_counter_;
+    ++admitted;
+    used_approaches_.push_back(cand.from_edge);
+    ++total_transits_;
+    if (!veh.is_patrol && was_inside != now_inside) {
+      if (now_inside) {
+        ++population_inside_;
+      } else {
+        --population_inside_;
+      }
+    }
+
+    push_event(TransitEvent{now_, veh.id, node.id, cand.from_edge, next,
+                            from_entry_seq});
+  }
+  candidates.clear();
 }
 
 void SimEngine::despawn(Vehicle& veh, roadnet::EdgeId edge) {

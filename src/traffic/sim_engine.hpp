@@ -71,6 +71,9 @@ class SimEngine {
 
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
+  // Subclassed by the differential-testing reference kernel and by
+  // injected-bug engines in the fuzz harness.
+  virtual ~SimEngine() = default;
 
   // ---- wiring -------------------------------------------------------------
 
@@ -159,7 +162,7 @@ class SimEngine {
 
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
- private:
+ protected:
   struct LaneRef {
     roadnet::EdgeId edge;
     int lane;
@@ -167,11 +170,31 @@ class SimEngine {
 
   [[nodiscard]] std::size_t lane_index(roadnet::EdgeId edge, int lane) const;
 
-  void apply_lane_changes();
-  void update_dynamics();
-  void detect_overtakes();
-  void process_transits();
+  // Step phases. Virtual so the differential-testing reference kernel
+  // (src/testing/reference_kernel.hpp) can substitute deliberately slow
+  // full-scan drivers while sharing the per-lane bodies below — the fast
+  // and reference engines then differ ONLY in how they enumerate work,
+  // which is exactly the surface the occupied-lane worklist optimizes.
+  // Four virtual calls per step; the per-vehicle work dwarfs the dispatch.
+  virtual void apply_lane_changes();
+  virtual void update_dynamics();
+  virtual void detect_overtakes();
+  virtual void process_transits();
   void finish_step();
+
+  // Per-lane / per-node phase bodies shared by the fast drivers above and
+  // the reference kernel's full scans. Each is a no-op on an empty lane, so
+  // a full scan over all lane indices performs the same per-vehicle work —
+  // and consumes the same RNG draws — as the worklist walk.
+  void lane_change_pass(std::uint32_t lane_idx);
+  void dynamics_pass(std::uint32_t lane_idx);
+  // Appends the lane's front vehicle to its node's candidate list (or
+  // despawns it on an outbound gateway); registers the node in
+  // active_nodes_ on first candidate.
+  void collect_transit_candidates(std::uint32_t lane_idx);
+  // Admits this step's candidates at `node` (ordering, admission budget,
+  // events) and clears the node's candidate list.
+  void admit_at_node(roadnet::NodeId node);
 
   // True if lane `lane` of `edge` has room for a vehicle of length `len`
   // entering at position 0.

@@ -1,0 +1,131 @@
+// Collection-stall diagnostics: debug_collection_state() and
+// outbox_backlog() must name the stuck checkpoint and the stranded message
+// class on a constructed stall — these strings are what every
+// "collection did not converge" assertion in the suite prints.
+//
+// The fixture is a two-node world (A=0 <-> B=1, outbound gateways on both)
+// where single scripted vehicles drive the protocol through exact states
+// and then leave via a gateway, stranding whatever sat in an outbox:
+//   v1: crosses A (counted, takes the A->B marker), activates B, exits.
+//   v2: crosses B (takes the B->A marker), delivers it to A; A's NotChild
+//       ack toward B is enqueued — and stranded (v2 exits via A's gateway).
+//   v3: crosses A (picks up the ack), delivers it to B; B becomes ready
+//       and enqueues its CountReport toward A — stranded likewise.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "counting/protocol.hpp"
+#include "counting_test_helpers.hpp"
+#include "roadnet/builder.hpp"
+#include "roadnet/manhattan.hpp"
+#include "traffic/sim_engine.hpp"
+
+namespace ivc::counting {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::NodeId;
+
+struct StallWorld {
+  roadnet::RoadNetwork net;
+  std::unique_ptr<traffic::SimEngine> engine;
+  std::unique_ptr<CountingProtocol> protocol;
+  EdgeId ab, ba, gw_a, gw_b;
+
+  StallWorld() {
+    roadnet::NetworkBuilder b;
+    roadnet::RoadSpec rs;
+    rs.lanes = 1;
+    rs.speed_limit = 10.0;
+    const NodeId a = b.add_intersection({0, 0});
+    const NodeId bb = b.add_intersection({200, 0});
+    b.add_two_way(a, bb, rs);
+    gw_a = b.add_outbound_gateway(a, rs, 100.0);
+    gw_b = b.add_outbound_gateway(bb, rs, 100.0);
+    net = b.build();
+    ab = *net.edge_between(a, bb);
+    ba = *net.edge_between(bb, a);
+
+    engine = std::make_unique<traffic::SimEngine>(net, traffic::SimConfig::simple_model());
+    protocol = std::make_unique<CountingProtocol>(*engine, ProtocolConfig{});
+    protocol->designate_seeds({NodeId{0}});
+    protocol->start();
+  }
+
+  // Spawns a vehicle near the downstream end of `edge` and runs the engine
+  // until it has left the world.
+  void drive(EdgeId edge, traffic::Route route) {
+    traffic::ExteriorAttributes attrs;
+    const double pos = net.segment(edge).length - 15.0;
+    const traffic::VehicleId id = engine->spawn_at(edge, 0, pos, attrs, std::move(route));
+    ASSERT_TRUE(id.valid());
+    for (int i = 0; i < 600 && engine->alive_count() > 0; ++i) engine->step();
+    ASSERT_EQ(engine->alive_count(), 0u);
+  }
+};
+
+TEST(CollectionDiagnostics, NamesStuckCheckpointAndStrandedMessageClass) {
+  StallWorld world;
+  ASSERT_EQ(world.protocol->outbox_backlog(), 0u);
+
+  // v1: count at A, carry the A->B marker, activate B, exit via B's
+  // gateway. Activation sends no explicit ack (the eventual report doubles
+  // as one), so every outbox is still empty.
+  world.drive(world.ba, traffic::Route{{world.ab, world.gw_b}, 0, false});
+  ASSERT_TRUE(world.protocol->checkpoint(NodeId{1}).is_active());
+  EXPECT_EQ(world.protocol->outbox_backlog(), 0u);
+  EXPECT_FALSE(world.protocol->collection_complete());
+
+  // v2: carry the B->A marker to A; A enqueues a NotChild TreeAck toward B
+  // and v2 exits through A's gateway without delivering it.
+  world.drive(world.ab, traffic::Route{{world.ba, world.gw_a}, 0, false});
+  EXPECT_EQ(world.protocol->outbox_backlog(), 1u);
+  {
+    const std::string debug = world.protocol->debug_collection_state();
+    EXPECT_NE(debug.find("outbox_tree_ack=1"), std::string::npos) << debug;
+    EXPECT_NE(debug.find("outbox_report=0"), std::string::npos) << debug;
+    EXPECT_NE(debug.find("oldest_msg=tree_ack 0->1"), std::string::npos) << debug;
+    // The seed cannot finish: its A->B marker is unresolved (the ack that
+    // would resolve it is the stranded message).
+    EXPECT_NE(debug.find("stuck_cp=0(markers unresolved (1 pending, 0 unissued))"),
+              std::string::npos)
+        << debug;
+  }
+
+  // v3: ferry the ack to B; B becomes ready and enqueues its CountReport
+  // toward A, then v3 exits via B's gateway — the report is now the
+  // stranded message and the seed waits on its child's report.
+  world.drive(world.ba, traffic::Route{{world.ab, world.gw_b}, 0, false});
+  EXPECT_EQ(world.protocol->outbox_backlog(), 1u);
+  {
+    const std::string debug = world.protocol->debug_collection_state();
+    EXPECT_NE(debug.find("outbox_tree_ack=0"), std::string::npos) << debug;
+    EXPECT_NE(debug.find("outbox_report=1"), std::string::npos) << debug;
+    EXPECT_NE(debug.find("oldest_msg=report 1->0"), std::string::npos) << debug;
+    EXPECT_NE(debug.find("stuck_cp=0("), std::string::npos) << debug;
+  }
+  EXPECT_FALSE(world.protocol->collection_complete());
+}
+
+TEST(CollectionDiagnostics, ConvergedWorldReportsNothingStuck) {
+  testing::WorldConfig wc;
+  roadnet::ManhattanConfig mc;
+  mc.streets = 4;
+  mc.avenues = 3;
+  wc.net = roadnet::make_manhattan_grid(mc);
+  wc.vehicles = 60;
+  wc.seed = 11;
+  testing::World world(std::move(wc));
+  world.protocol().designate_seeds({NodeId{0}});
+  world.protocol().start();
+  ASSERT_TRUE(world.run_to_convergence(120.0)) << world.protocol().debug_collection_state();
+  const std::string debug = world.protocol().debug_collection_state();
+  EXPECT_NE(debug.find("unreported=0"), std::string::npos) << debug;
+  EXPECT_NE(debug.find("unstable=0"), std::string::npos) << debug;
+  EXPECT_EQ(debug.find("stuck_cp="), std::string::npos) << debug;
+}
+
+}  // namespace
+}  // namespace ivc::counting
