@@ -13,6 +13,8 @@
 //   ivc_fuzz --scenario highway-open-steady # diff-check a registry entry
 //   ivc_fuzz --all-scenarios                # diff-check the whole registry
 //   ivc_fuzz --repro-out repros.txt         # minimal repro seeds -> file
+//   ivc_fuzz --cases 120 --threads 4        # force the fast engine to 4 workers
+//   ivc_fuzz --cases 120 --parallel-diff    # fast@threads vs fast@serial (no kernel)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,8 +48,8 @@ void print_failure(const testing::DiffResult& diff) {
 
 // Shrink a diverging case and report/record the minimal reproducer.
 // Returns the seed to persist (the shrunk one when shrinking succeeded).
-std::uint64_t shrink_and_report(std::uint64_t case_seed) {
-  const auto shrunk = testing::shrink_case(case_seed);
+std::uint64_t shrink_and_report(std::uint64_t case_seed, int fast_threads) {
+  const auto shrunk = testing::shrink_case(case_seed, {}, fast_threads);
   if (!shrunk) return case_seed;  // flaky? keep the original seed
   std::string trail = "none";
   if (!shrunk->trail.empty()) {
@@ -71,10 +73,12 @@ int main(int argc, char** argv) {
   std::int64_t cases = 100;
   std::int64_t seed = 1;
   std::int64_t max_failures = 5;
+  std::int64_t threads = -1;
   std::string replay;
   std::string scenario;
   std::string repro_out;
   bool all_scenarios = false;
+  bool parallel_diff = false;
   bool verbose = false;
 
   util::Cli cli("ivc_fuzz",
@@ -82,12 +86,26 @@ int main(int argc, char** argv) {
   cli.add_int("cases", &cases, "number of randomized cases to run");
   cli.add_int("seed", &seed, "campaign seed (case seeds derive from it)");
   cli.add_int("max-failures", &max_failures, "stop the campaign after this many failures");
+  cli.add_int("threads", &threads,
+              "force the fast engine's worker count (0 = all cores; default: the "
+              "thread count each case derives from its seed)");
   cli.add_string("replay", &replay, "replay one case seed (0x-hex or decimal) and exit");
   cli.add_string("scenario", &scenario, "diff-check a named registry scenario (smoke scale)");
   cli.add_flag("all-scenarios", &all_scenarios, "diff-check every registry scenario");
+  cli.add_flag("parallel-diff", &parallel_diff,
+               "diff the fast engine at --threads (default: all cores) against the "
+               "same engine at threads=1, instead of against the reference kernel");
   cli.add_string("repro-out", &repro_out, "append minimal repro seeds to this file");
   cli.add_flag("verbose", &verbose, "print every case, not just failures");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const int fast_threads = static_cast<int>(threads);
+  // Parallel-vs-serial mode needs a concrete count for the threaded side.
+  const int parallel_threads = threads >= 0 ? fast_threads : 0;
+  const auto diff_one = [&](std::uint64_t case_seed) {
+    return parallel_diff ? testing::diff_case_threads(case_seed, parallel_threads)
+                         : testing::diff_case(case_seed, {}, fast_threads);
+  };
 
   std::ofstream repro_file;
   if (!repro_out.empty()) {
@@ -113,7 +131,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --replay seed: %s\n", replay.c_str());
       return 1;
     }
-    const testing::DiffResult diff = testing::diff_case(case_seed);
+    const testing::DiffResult diff = diff_one(case_seed);
     std::printf("%s\n", diff.summary.c_str());
     if (diff.match) {
       std::printf("MATCH: event_hash=0x%016llx events=%llu steps=%llu\n",
@@ -131,7 +149,9 @@ int main(int argc, char** argv) {
   if (!scenario.empty() || all_scenarios) {
     int failures = 0;
     const auto check = [&](const std::string& name) {
-      const auto diff = testing::diff_named_scenario(name);
+      const auto diff = parallel_diff
+                            ? testing::diff_named_scenario_threads(name, parallel_threads)
+                            : testing::diff_named_scenario(name);
       if (!diff) {
         std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
         ++failures;
@@ -161,13 +181,23 @@ int main(int argc, char** argv) {
   for (std::int64_t i = 0; i < cases; ++i) {
     const std::uint64_t case_seed = testing::campaign_case_seed(
         static_cast<std::uint64_t>(seed), static_cast<std::uint64_t>(i));
-    const testing::DiffResult diff = testing::diff_case(case_seed);
+    const testing::DiffResult diff = diff_one(case_seed);
     ++ran;
     if (diff.match) {
       if (verbose) std::printf("ok   %s\n", diff.summary.c_str());
+    } else if (parallel_diff) {
+      // No kernel in this mode; the failing seed itself is the repro
+      // (shrinking against the serial reference could lose a
+      // thread-count-sensitive divergence).
+      print_failure(diff);
+      record_repro(case_seed, diff.summary);
+      if (++failures >= max_failures) {
+        std::printf("stopping after %d failures\n", failures);
+        break;
+      }
     } else {
       print_failure(diff);
-      const std::uint64_t repro = shrink_and_report(case_seed);
+      const std::uint64_t repro = shrink_and_report(case_seed, fast_threads);
       record_repro(repro, testing::make_fuzz_case(repro).summary);
       if (++failures >= max_failures) {
         std::printf("stopping after %d failures\n", failures);

@@ -440,7 +440,8 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
       // Patrol equipment bypasses the lossy channel entirely (no exchange
       // is drawn); every ordinary pickup goes through the channel so its
       // attempt statistics hold on lossless runs too.
-      const bool ok = is_patrol || channel_.pickup_succeeds();
+      const bool ok = is_patrol || channel_.pickup_succeeds(event.vehicle.value(),
+                                                            obu.channel_attempts++);
       if (ok) {
         obu.label = v2x::Label{event.node, event.to_edge, now};
         obu.overtake_delta = 0;
@@ -491,7 +492,8 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
         }
       }
       if (any_eligible) {
-        const bool ok = channel_.pickup_succeeds();
+        const bool ok = channel_.pickup_succeeds(event.vehicle.value(),
+                                                 obu.channel_attempts++);
         if (ok) {
           auto it = box.begin();
           while (it != box.end()) {

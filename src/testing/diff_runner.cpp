@@ -226,25 +226,56 @@ RunDigest run_digest_fast(const experiment::ScenarioConfig& config,
 }
 
 RunDigest run_digest_reference(const experiment::ScenarioConfig& config) {
-  return run_digest(config, {}, /*reference=*/true);
+  // Belt and braces: the kernel's constructor forces serial too.
+  experiment::ScenarioConfig serial = config;
+  serial.sim.threads = 1;
+  return run_digest(serial, {}, /*reference=*/true);
 }
 
 DiffResult diff_config(const experiment::ScenarioConfig& config,
-                       const EngineFactory& fast_factory) {
+                       const EngineFactory& fast_factory, int fast_threads) {
+  experiment::ScenarioConfig fast_config = config;
+  if (fast_threads >= 0) fast_config.sim.threads = fast_threads;
   DiffResult result;
   result.summary = config.describe();
-  result.fast = run_digest_fast(config, fast_factory);
+  result.fast = run_digest_fast(fast_config, fast_factory);
   result.reference = run_digest_reference(config);
   result.divergence = compare(result.fast, result.reference);
   result.match = result.divergence.empty();
   return result;
 }
 
-DiffResult diff_case(std::uint64_t case_seed, const EngineFactory& fast_factory) {
+DiffResult diff_case(std::uint64_t case_seed, const EngineFactory& fast_factory,
+                     int fast_threads) {
   const FuzzCase fc = make_fuzz_case(case_seed);
-  DiffResult result = diff_config(fc.config, fast_factory);
+  DiffResult result = diff_config(fc.config, fast_factory, fast_threads);
   result.case_seed = case_seed;
   result.summary = fc.summary;
+  return result;
+}
+
+DiffResult diff_config_threads(const experiment::ScenarioConfig& config, int threads,
+                               const EngineFactory& fast_factory) {
+  experiment::ScenarioConfig threaded = config;
+  threaded.sim.threads = threads;
+  experiment::ScenarioConfig serial = config;
+  serial.sim.threads = 1;
+  DiffResult result;
+  result.summary =
+      util::format("%s [threads=%d vs serial]", config.describe().c_str(), threads);
+  result.fast = run_digest_fast(threaded, fast_factory);
+  result.reference = run_digest_fast(serial, fast_factory);
+  result.divergence = compare(result.fast, result.reference);
+  result.match = result.divergence.empty();
+  return result;
+}
+
+DiffResult diff_case_threads(std::uint64_t case_seed, int threads,
+                             const EngineFactory& fast_factory) {
+  const FuzzCase fc = make_fuzz_case(case_seed);
+  DiffResult result = diff_config_threads(fc.config, threads, fast_factory);
+  result.case_seed = case_seed;
+  result.summary = util::format("%s [threads=%d vs serial]", fc.summary.c_str(), threads);
   return result;
 }
 
@@ -257,17 +288,28 @@ std::optional<DiffResult> diff_named_scenario(std::string_view name) {
   return result;
 }
 
+std::optional<DiffResult> diff_named_scenario_threads(std::string_view name, int threads) {
+  const experiment::NamedScenario* scenario =
+      experiment::ScenarioRegistry::builtin().find(name);
+  if (scenario == nullptr) return std::nullopt;
+  DiffResult result =
+      diff_config_threads(scenario->make(experiment::ScenarioScale::Smoke), threads);
+  result.summary = scenario->name + ": " + result.summary;
+  return result;
+}
+
 std::optional<ShrinkResult> shrink_case(std::uint64_t failing_seed,
-                                        const EngineFactory& fast_factory) {
+                                        const EngineFactory& fast_factory,
+                                        int fast_threads) {
   ShrinkResult out;
-  DiffResult current = diff_case(failing_seed, fast_factory);
+  DiffResult current = diff_case(failing_seed, fast_factory, fast_threads);
   ++out.attempts;
   if (current.match) return std::nullopt;
 
   ShrinkSpec spec = unpack_shrink(failing_seed);
   const auto try_spec = [&](const ShrinkSpec& candidate, const char* what) {
     const std::uint64_t seed = with_shrink(failing_seed, candidate);
-    DiffResult attempt = diff_case(seed, fast_factory);
+    DiffResult attempt = diff_case(seed, fast_factory, fast_threads);
     ++out.attempts;
     if (!attempt.match) {
       spec = candidate;

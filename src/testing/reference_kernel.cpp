@@ -12,8 +12,19 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
+namespace {
+// The reference is the obviously-correct serial baseline: whatever thread
+// count the case under test runs at, the kernel's full scans execute on
+// one thread. (The overridden phases below never take the sharded paths
+// anyway; this also keeps the base-class detect_overtakes serial.)
+traffic::SimConfig force_serial(traffic::SimConfig config) {
+  config.threads = 1;
+  return config;
+}
+}  // namespace
+
 ReferenceKernel::ReferenceKernel(const roadnet::RoadNetwork& net, traffic::SimConfig config)
-    : SimEngine(net, config) {}
+    : SimEngine(net, force_serial(config)) {}
 
 void ReferenceKernel::record_violation(std::string what) {
   ++violation_count_;
@@ -33,6 +44,9 @@ void ReferenceKernel::apply_lane_changes() {
 }
 
 void ReferenceKernel::update_dynamics() {
+  // The shared dynamics_pass body reads next-edge entry room from the
+  // pre-phase snapshot; every dynamics driver must take it first.
+  prepare_entry_space();
   for (std::size_t i = 0; i < total_lanes(); ++i) {
     dynamics_pass(static_cast<std::uint32_t>(i));
   }

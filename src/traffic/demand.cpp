@@ -44,7 +44,8 @@ DemandModel::DemandModel(SimEngine& engine, Router& router, DemandConfig config)
     : engine_(engine),
       router_(router),
       config_(config),
-      rng_(util::derive_seed(config.seed, "demand")) {
+      rng_(util::derive_seed(config.seed, "demand")),
+      replan_seed_(util::derive_seed(config.seed, "replan")) {
   IVC_ASSERT(config_.volume_pct > 0.0);
   for (const auto& seg : engine_.network().segments()) {
     if (seg.is_inbound_gateway()) inbound_gateways_.push_back(seg.id);
@@ -72,23 +73,23 @@ double DemandModel::speed_factor() {
   return std::clamp(rng_.normal(1.0, 0.08), 0.85, 1.2);
 }
 
-Route DemandModel::roam_route(roadnet::NodeId node) {
+Route DemandModel::roam_route(roadnet::NodeId node, util::StreamRng& rng) {
   Route route;
-  const roadnet::NodeId dest = router_.random_destination(node);
-  route.edges = router_.plan(node, dest);
+  const roadnet::NodeId dest = router_.random_destination(node, rng);
+  route.edges = router_.plan(node, dest, rng);
   return route;
 }
 
-Route DemandModel::exit_route(roadnet::NodeId node) {
+Route DemandModel::exit_route(roadnet::NodeId node, util::StreamRng& rng) {
   Route route;
   if (exit_nodes_.empty()) return route;
-  const roadnet::NodeId gw = exit_nodes_[rng_.uniform_index(exit_nodes_.size())];
+  const roadnet::NodeId gw = exit_nodes_[rng.uniform_index(exit_nodes_.size())];
   if (gw != node) {
-    route.edges = router_.plan(node, gw);
+    route.edges = router_.plan(node, gw, rng);
     if (route.edges.empty()) return route;  // unreachable under exclusions; roam instead
   }
   const auto& out = engine_.network().intersection(gw).gateway_out;
-  route.edges.push_back(out[rng_.uniform_index(out.size())]);
+  route.edges.push_back(out[rng.uniform_index(out.size())]);
   return route;
 }
 
@@ -117,8 +118,11 @@ std::size_t DemandModel::init_population() {
     const auto& seg = net.segment(interior[static_cast<std::size_t>(it - cumulative.begin())]);
     const int lane = static_cast<int>(rng_.uniform_index(static_cast<std::uint64_t>(seg.lanes)));
     const double pos = rng_.uniform(0.0, seg.length * 0.95);
-    Route route;
-    route.edges = router_.plan(seg.to, router_.random_destination(seg.to));
+    // One sequential draw seeds a stream per placement; the route draws
+    // then come from that stream (the serial analogue of the per-vehicle
+    // streams plan_continuation uses).
+    util::StreamRng route_rng(rng_.next());
+    Route route = roam_route(seg.to, route_rng);
     const VehicleId id =
         engine_.spawn_at(seg.id, lane, pos, sample_attributes(), std::move(route),
                          speed_factor());
@@ -140,11 +144,12 @@ void DemandModel::update() {
     const roadnet::EdgeId gw =
         inbound_gateways_[rng_.uniform_index(inbound_gateways_.size())];
     const roadnet::NodeId entry_node = engine_.network().segment(gw).to;
+    util::StreamRng route_rng(rng_.next());
     Route route;
     if (rng_.bernoulli(config_.through_fraction)) {
-      route = exit_route(entry_node);
+      route = exit_route(entry_node, route_rng);
     }
-    if (route.edges.empty()) route = roam_route(entry_node);
+    if (route.edges.empty()) route = roam_route(entry_node, route_rng);
     const VehicleId id = engine_.try_spawn_at_start(gw, sample_attributes(),
                                                     std::move(route), speed_factor());
     if (id.valid()) ++spawned_total_;
@@ -153,12 +158,17 @@ void DemandModel::update() {
   }
 }
 
-Route DemandModel::plan_continuation(VehicleId /*vehicle*/, roadnet::NodeId node) {
-  if (!exit_nodes_.empty() && rng_.bernoulli(config_.exit_probability)) {
-    Route route = exit_route(node);
+Route DemandModel::plan_continuation(VehicleId vehicle, roadnet::NodeId node) {
+  // Key the whole query to one draw from the vehicle's counter-based
+  // stream: the engine calls this from inside the (possibly sharded)
+  // dynamics phase, and the route a vehicle gets must not depend on which
+  // other vehicle replanned first.
+  util::StreamRng rng(util::derive_seed(replan_seed_, engine_.draw_for(vehicle)));
+  if (!exit_nodes_.empty() && rng.bernoulli(config_.exit_probability)) {
+    Route route = exit_route(node, rng);
     if (!route.edges.empty()) return route;
   }
-  return roam_route(node);
+  return roam_route(node, rng);
 }
 
 }  // namespace ivc::traffic

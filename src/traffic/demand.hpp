@@ -50,7 +50,11 @@ class DemandModel {
   // Per-step arrivals; no-op for closed networks. Call before engine.step().
   void update();
 
-  // Route continuation used as the engine's RoutePlanner.
+  // Route continuation used as the engine's RoutePlanner. Thread-safe and
+  // schedule-independent: every draw (exit choice, destination, routing
+  // jitter) comes from a stream keyed by the asking vehicle's own
+  // counter-based draw, so replans issued concurrently from the engine's
+  // dynamics shards neither race nor depend on planning order.
   [[nodiscard]] Route plan_continuation(VehicleId vehicle, roadnet::NodeId node);
 
   // Sample exterior attributes from the fleet mix (never a police car).
@@ -61,15 +65,19 @@ class DemandModel {
 
  private:
   [[nodiscard]] double speed_factor();
-  // Route from `node` to a random interior destination.
-  [[nodiscard]] Route roam_route(roadnet::NodeId node);
+  // Route from `node` to a random interior destination, drawing from `rng`.
+  [[nodiscard]] Route roam_route(roadnet::NodeId node, util::StreamRng& rng);
   // Route from `node` out of the system via a random outbound gateway.
-  [[nodiscard]] Route exit_route(roadnet::NodeId node);
+  [[nodiscard]] Route exit_route(roadnet::NodeId node, util::StreamRng& rng);
 
   SimEngine& engine_;
   Router& router_;
   DemandConfig config_;
+  // Sequential stream for the serial paths only (initial placement,
+  // boundary arrivals, attribute sampling); plan_continuation never
+  // touches it — see above.
   util::Rng rng_;
+  std::uint64_t replan_seed_ = 0;  // keys plan_continuation streams
   std::vector<roadnet::EdgeId> inbound_gateways_;
   std::vector<roadnet::NodeId> exit_nodes_;  // nodes with outbound gateways
   double arrival_budget_ = 0.0;  // fractional arrivals carried across steps

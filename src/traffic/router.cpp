@@ -29,7 +29,7 @@ struct QueueEntry {
 }  // namespace
 
 Router::Router(const roadnet::RoadNetwork& net, std::uint64_t seed)
-    : net_(net), rng_(seed) {
+    : net_(net), seq_(util::derive_seed(seed, "router-seq")) {
   free_flow_.reserve(net_.num_segments());
   double max_speed = 0.0;
   // Admissibility guard: the builder accepts explicit segment lengths, and
@@ -53,12 +53,19 @@ Router::Router(const roadnet::RoadNetwork& net, std::uint64_t seed)
 
 void Router::exclude_edge(roadnet::EdgeId e) { excluded_.insert(e); }
 
-std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId to) {
+std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId to,
+                                          util::StreamRng& rng) const {
   IVC_ASSERT(from.valid() && to.valid());
   if (from == to) return {};
   const std::size_t n = net_.num_intersections();
-  dist_.assign(n, roadnet::kUnreachable);
-  parent_.assign(n, roadnet::EdgeId::invalid());
+  // Per-thread scratch: plan() is called concurrently from the engine's
+  // dynamics shards (route replanning at the stop line), and these arrays
+  // are pure workspace — sharing them per thread instead of per Router
+  // keeps the hot path allocation-free without any locking.
+  static thread_local std::vector<double> dist_scratch;
+  static thread_local std::vector<roadnet::EdgeId> parent_scratch;
+  dist_scratch.assign(n, roadnet::kUnreachable);
+  parent_scratch.assign(n, roadnet::EdgeId::invalid());
 
   // A* with an admissible, consistent heuristic: remaining cost is at
   // least heuristic_rate_ seconds per straight-line meter (jitter floor /
@@ -73,29 +80,29 @@ std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId 
   };
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
-  dist_[from.value()] = 0.0;
+  dist_scratch[from.value()] = 0.0;
   heap.push({heuristic(from), 0.0, from.value()});
   while (!heap.empty()) {
     const auto [est, d, u] = heap.top();
     heap.pop();
-    if (d > dist_[u]) continue;
+    if (d > dist_scratch[u]) continue;
     if (roadnet::NodeId{u} == to) break;
     for (const roadnet::EdgeId e : net_.intersection(roadnet::NodeId{u}).out_edges) {
       if (excluded_.contains(e)) continue;
       const auto v = net_.segment(e).to.value();
-      const double w = free_flow_[e.value()] * rng_.uniform(kJitterLo, kJitterHi);
+      const double w = free_flow_[e.value()] * rng.uniform(kJitterLo, kJitterHi);
       const double nd = d + w;
-      if (nd < dist_[v]) {
-        dist_[v] = nd;
-        parent_[v] = e;
+      if (nd < dist_scratch[v]) {
+        dist_scratch[v] = nd;
+        parent_scratch[v] = e;
         heap.push({nd + heuristic(roadnet::NodeId{v}), nd, v});
       }
     }
   }
-  if (dist_[to.value()] == roadnet::kUnreachable) return {};
+  if (dist_scratch[to.value()] == roadnet::kUnreachable) return {};
   std::vector<roadnet::EdgeId> path;
   for (roadnet::NodeId v = to; v != from;) {
-    const roadnet::EdgeId e = parent_[v.value()];
+    const roadnet::EdgeId e = parent_scratch[v.value()];
     path.push_back(e);
     v = net_.segment(e).from;
   }
@@ -103,11 +110,12 @@ std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId 
   return path;
 }
 
-roadnet::NodeId Router::random_destination(roadnet::NodeId avoid) {
+roadnet::NodeId Router::random_destination(roadnet::NodeId avoid,
+                                           util::StreamRng& rng) const {
   IVC_ASSERT(net_.num_intersections() > 1);
   for (;;) {
     const auto idx =
-        static_cast<std::uint32_t>(rng_.uniform_index(net_.num_intersections()));
+        static_cast<std::uint32_t>(rng.uniform_index(net_.num_intersections()));
     if (roadnet::NodeId{idx} != avoid) return roadnet::NodeId{idx};
   }
 }

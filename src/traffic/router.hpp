@@ -30,23 +30,41 @@ class Router {
   Router(const roadnet::RoadNetwork& net, std::uint64_t seed);
 
   // Edges that demand refuses to route over (they remain drivable; the
-  // patrol fleet still uses them).
+  // patrol fleet still uses them). Setup-time only: plan() may run
+  // concurrently from the engine's dynamics shards, so the exclusion set
+  // must be frozen before the first step.
   void exclude_edge(roadnet::EdgeId e);
   [[nodiscard]] const std::unordered_set<roadnet::EdgeId>& excluded() const {
     return excluded_;
   }
 
   // Shortest jittered path from `from` to `to` over non-excluded interior
-  // edges. Returns an empty vector when unreachable (caller falls back to a
-  // non-jittered, non-excluded search before giving up).
-  [[nodiscard]] std::vector<roadnet::EdgeId> plan(roadnet::NodeId from, roadnet::NodeId to);
+  // edges; all jitter comes from the caller's counter-based stream, so two
+  // queries with equal (key, counter) yield the same route no matter which
+  // thread plans first. Thread-safe (const; per-thread scratch). Returns
+  // an empty vector when unreachable (caller falls back to a non-jittered,
+  // non-excluded search before giving up).
+  [[nodiscard]] std::vector<roadnet::EdgeId> plan(roadnet::NodeId from, roadnet::NodeId to,
+                                                 util::StreamRng& rng) const;
 
   // Uniformly random interior destination different from `avoid`.
-  [[nodiscard]] roadnet::NodeId random_destination(roadnet::NodeId avoid);
+  [[nodiscard]] roadnet::NodeId random_destination(roadnet::NodeId avoid,
+                                                   util::StreamRng& rng) const;
+
+  // Convenience for serial callers (tests, benches, examples): same
+  // algorithms drawing from an internal sequential stream seeded by the
+  // constructor. NOT thread-safe and order-dependent by nature — the
+  // engine/demand path always passes an explicit per-vehicle stream.
+  [[nodiscard]] std::vector<roadnet::EdgeId> plan(roadnet::NodeId from, roadnet::NodeId to) {
+    return plan(from, to, seq_);
+  }
+  [[nodiscard]] roadnet::NodeId random_destination(roadnet::NodeId avoid) {
+    return random_destination(avoid, seq_);
+  }
 
  private:
   const roadnet::RoadNetwork& net_;
-  util::Rng rng_;
+  util::StreamRng seq_;  // backs the convenience overloads only
   std::unordered_set<roadnet::EdgeId> excluded_;
   // Free-flow time per edge, cached once: plan() relaxes tens of thousands
   // of edges per second at city scale and must not re-derive static edge
@@ -56,9 +74,6 @@ class Router {
   // the fastest segment, corrected for shortcut segments (length shorter
   // than the endpoint distance) so the heuristic stays admissible.
   double heuristic_rate_ = 0.0;
-  // Scratch buffers reused across plan() calls.
-  std::vector<double> dist_;
-  std::vector<roadnet::EdgeId> parent_;
 };
 
 }  // namespace ivc::traffic

@@ -16,9 +16,15 @@ constexpr double kMinSeparation = 0.1;
 constexpr double kStopMargin = 0.5;
 }  // namespace
 
+thread_local SimEngine::ShardContext* SimEngine::tls_shard_ = nullptr;
+
 SimEngine::SimEngine(const roadnet::RoadNetwork& net, SimConfig config)
-    : net_(net), config_(config), rng_(util::derive_seed(config.seed, "sim-engine")) {
+    : net_(net),
+      config_(config),
+      rng_(util::derive_seed(config.seed, "sim-engine")),
+      vehicle_stream_seed_(util::derive_seed(config.seed, "vehicle-streams")) {
   IVC_ASSERT(config_.dt > 0.0);
+  IVC_ASSERT(config_.threads >= 0);
   lane_offset_.resize(net_.num_segments());
   std::size_t total_lanes = 0;
   for (const auto& seg : net_.segments()) {
@@ -28,7 +34,16 @@ SimEngine::SimEngine(const roadnet::RoadNetwork& net, SimConfig config)
   }
   lanes_.resize(total_lanes);
   edge_count_.assign(net_.num_segments(), 0);
+  entry_space_.assign(total_lanes, 0.0);
   node_candidates_.resize(net_.num_intersections());
+
+  std::size_t team = config_.threads == 0
+                         ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                         : static_cast<std::size_t>(config_.threads);
+  if (team > 1) {
+    pool_ = std::make_unique<util::ForkJoinPool>(team);
+    shards_.resize(pool_->size());
+  }
 }
 
 void SimEngine::add_observer(SimObserver* observer) {
@@ -62,6 +77,15 @@ const Vehicle* SimEngine::find_vehicle(VehicleId id) const {
   return veh.id == id ? &veh : nullptr;
 }
 
+std::uint64_t SimEngine::draw_for(VehicleId id) {
+  if (id.valid() && id.slot() < vehicles_.size() && vehicles_[id.slot()].id == id) {
+    Vehicle& veh = vehicles_[id.slot()];
+    return util::counter_mix(veh.rng_key, veh.rng_draws++);
+  }
+  // Stale or never-spawned id (direct harness calls): stateless hash.
+  return util::derive_seed(vehicle_stream_seed_, id.value());
+}
+
 double SimEngine::mean_speed() const {
   double sum = 0.0;
   for (const VehicleId id : alive_) sum += vehicles_[id.slot()].speed;
@@ -69,6 +93,13 @@ double SimEngine::mean_speed() const {
 }
 
 void SimEngine::mark_lane_occupied(std::size_t index) {
+  // Sharded lane changes log the transition instead of touching the global
+  // worklist; the step driver applies the logs serially in shard order —
+  // the same order the inline updates would have happened in.
+  if (ShardContext* shard = tls_shard_) {
+    shard->occupancy_log.emplace_back(static_cast<std::uint32_t>(index), true);
+    return;
+  }
   const auto value = static_cast<std::uint32_t>(index);
   const auto it = std::lower_bound(occupied_lanes_.begin(), occupied_lanes_.end(), value);
   occupied_lanes_.insert(it, value);
@@ -76,6 +107,10 @@ void SimEngine::mark_lane_occupied(std::size_t index) {
 }
 
 void SimEngine::mark_lane_empty(std::size_t index) {
+  if (ShardContext* shard = tls_shard_) {
+    shard->occupancy_log.emplace_back(static_cast<std::uint32_t>(index), false);
+    return;
+  }
   const auto value = static_cast<std::uint32_t>(index);
   const auto it = std::lower_bound(occupied_lanes_.begin(), occupied_lanes_.end(), value);
   IVC_ASSERT(it != occupied_lanes_.end() && *it == value);
@@ -173,6 +208,11 @@ VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
   veh.route = std::move(route);
   veh.speed = 0.0;
   veh.entry_seq = ++entry_seq_counter_;
+  // Counter-based stream: the generational id is assigned by the serial
+  // spawn/admission machinery, so the key — and with it every draw the
+  // vehicle will ever make — is identical across thread counts.
+  veh.rng_key = util::derive_seed(vehicle_stream_seed_, id.value());
+  veh.rng_draws = 0;
 
   alive_pos_[id.slot()] = static_cast<std::uint32_t>(alive_.size());
   alive_.push_back(id);
@@ -239,10 +279,15 @@ roadnet::EdgeId SimEngine::ensure_next_edge(Vehicle& veh, roadnet::NodeId node) 
     next = veh.route.peek();
     if (!next.valid()) {
       // Fallback: roam onto a uniformly random out-edge so traffic never
-      // stalls even without a planner (unit-test configurations).
+      // stalls even without a planner (unit-test configurations). Drawn
+      // from the vehicle's own counter-based stream — this runs inside the
+      // (possibly sharded) dynamics phase, where a shared sequential
+      // generator would make the pick depend on which lane drew first.
       const auto& out = net_.intersection(node).out_edges;
       IVC_ASSERT_MSG(!out.empty(), "dead-end node reached");
-      veh.route.edges = {out[rng_.uniform_index(out.size())]};
+      util::StreamRng stream(veh.rng_key, veh.rng_draws);
+      veh.route.edges = {out[stream.uniform_index(out.size())]};
+      veh.rng_draws = stream.draws();
       veh.route.next = 0;
       next = veh.route.peek();
     }
@@ -252,13 +297,86 @@ roadnet::EdgeId SimEngine::ensure_next_edge(Vehicle& veh, roadnet::NodeId node) 
   return next;
 }
 
+std::size_t SimEngine::shard_count(std::size_t items) const {
+  if (pool_ == nullptr) return 1;
+  // Grain keeps tiny worklists serial: below ~one cache line of lane
+  // indices per worker the fork-join overhead outweighs the phase.
+  constexpr std::size_t kGrain = 16;
+  const std::size_t by_grain = items / kGrain;
+  if (by_grain <= 1) return 1;
+  return std::min(by_grain, pool_->size());
+}
+
+void SimEngine::run_sharded(util::PerfPhase phase,
+                            const std::function<void(ShardContext&)>& body) {
+  const std::size_t active = shard_ranges_.size();
+  const bool timed = perf_ != nullptr;
+  pool_->run([&](std::size_t worker) {
+    if (worker >= active) return;
+    ShardContext& ctx = shards_[worker];
+    ctx.reset();
+    ctx.range = shard_ranges_[worker];
+    // Scope guard, not a trailing assignment: if the body throws (a
+    // route-planner callback can), the worker — possibly the caller
+    // thread itself — must not keep routing serial-path events into a
+    // shard buffer after the fork-join rethrows.
+    struct TlsGuard {
+      ~TlsGuard() { tls_shard_ = nullptr; }
+    } guard;
+    tls_shard_ = &ctx;
+    if (timed) {
+      const auto start = std::chrono::steady_clock::now();
+      body(ctx);
+      ctx.busy_nanos = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    } else {
+      body(ctx);
+    }
+  });
+  if (timed) {
+    std::uint64_t busy = 0;
+    for (std::size_t s = 0; s < active; ++s) busy += shards_[s].busy_nanos;
+    perf_->add_parallel(phase, busy);
+  }
+}
+
 void SimEngine::apply_lane_changes() {
   if (!config_.allow_lane_change) return;
   // Snapshot the worklist: a move into a previously-empty lane must not
   // grow the iteration space mid-phase (the mover is cooldown-gated, so
   // skipping its new lane is equivalent to the full scan visiting it).
   scratch_lanes_.assign(occupied_lanes_.begin(), occupied_lanes_.end());
-  for (const std::uint32_t index : scratch_lanes_) lane_change_pass(index);
+  const std::size_t nshards = shard_count(scratch_lanes_.size());
+  if (nshards <= 1) {
+    for (const std::uint32_t index : scratch_lanes_) lane_change_pass(index);
+    return;
+  }
+  // Segment-aligned shards: a lane change never leaves its segment, so no
+  // two shards touch the same lane list or edge counter and the live-state
+  // algorithm runs unchanged. The one global structure — the occupancy
+  // worklist — is not read by this phase (it walks the snapshot), so its
+  // transitions are logged per shard and applied below in shard order,
+  // which is exactly the order the serial walk would have applied them.
+  shard_worklist(
+      scratch_lanes_, nshards,
+      [this](std::uint32_t lane) { return lane_refs_[lane].edge.value(); },
+      &shard_ranges_);
+  run_sharded(util::PerfPhase::LaneChange, [this](ShardContext& ctx) {
+    for (std::size_t i = ctx.range.begin; i < ctx.range.end; ++i) {
+      lane_change_pass(scratch_lanes_[i]);
+    }
+  });
+  for (std::size_t s = 0; s < shard_ranges_.size(); ++s) {
+    for (const auto& [lane, occupied] : shards_[s].occupancy_log) {
+      if (occupied) {
+        mark_lane_occupied(lane);
+      } else {
+        mark_lane_empty(lane);
+      }
+    }
+  }
 }
 
 void SimEngine::lane_change_pass(std::uint32_t index) {
@@ -333,9 +451,57 @@ void SimEngine::lane_change_pass(std::uint32_t index) {
   }
 }
 
+void SimEngine::prepare_entry_space() {
+  // O(occupied lanes): one read of each occupied lane's rearmost vehicle.
+  for (const std::uint32_t index : occupied_lanes_) {
+    const Vehicle& rear = vehicles_[lanes_[index].front().slot()];
+    entry_space_[index] = rear.position - rear.length;
+  }
+}
+
+int SimEngine::snapshot_entry_lane(roadnet::EdgeId edge, double len) const {
+  const auto& seg = net_.segment(edge);
+  const std::size_t base = lane_offset_[edge.value()];
+  int best = -1;
+  double best_space = -kInf;
+  for (int lane = 0; lane < seg.lanes; ++lane) {
+    const std::size_t index = base + static_cast<std::size_t>(lane);
+    // Lane membership never changes during dynamics, so empty() is stable;
+    // positions do change, which is why occupied lanes read the snapshot.
+    const bool empty = lanes_[index].empty();
+    // Mirrors entry_has_room/pick_entry_lane: an empty lane always has
+    // room; an occupied one needs the jam gap behind its rearmost vehicle.
+    const double space = empty ? seg.length : entry_space_[index];
+    if (!empty && space - len < kMinSeparation + 1.0) continue;
+    if (space > best_space) {
+      best_space = space;
+      best = lane;
+    }
+  }
+  return best;
+}
+
 void SimEngine::update_dynamics() {
-  // Dynamics never changes lane membership, so the live worklist is safe
-  // to iterate directly (ascending = the old full-scan order).
+  prepare_entry_space();
+  const std::size_t nshards = shard_count(occupied_lanes_.size());
+  if (nshards > 1) {
+    // Dynamics never changes lane membership and every cross-lane read
+    // goes through the entry-space snapshot, so shards share no mutable
+    // state whatever the boundaries; the aligned partitioner is reused for
+    // a single code path.
+    shard_worklist(
+        occupied_lanes_, nshards,
+        [this](std::uint32_t lane) { return lane_refs_[lane].edge.value(); },
+        &shard_ranges_);
+    run_sharded(util::PerfPhase::Dynamics, [this](ShardContext& ctx) {
+      for (std::size_t i = ctx.range.begin; i < ctx.range.end; ++i) {
+        dynamics_pass(occupied_lanes_[i]);
+      }
+    });
+    return;
+  }
+  // Serial: the live worklist is safe to iterate directly (ascending =
+  // the old full-scan order).
   for (std::size_t w = 0; w < occupied_lanes_.size(); ++w) {
     const std::uint32_t index = occupied_lanes_[w];
     if (w + 1 < occupied_lanes_.size()) {
@@ -375,10 +541,13 @@ void SimEngine::dynamics_pass(std::uint32_t index) {
                veh.position > seg.length - config_.intersection_lookahead) {
       // Front vehicle near the intersection: check whether the next edge
       // can take it; if not, treat the stop line as a standing obstacle.
-      // An empty next edge always has room (pick_entry_lane would return
+      // An empty next edge always has room (the entry pick would return
       // lane 0), so the lane scan is only needed when it is occupied.
+      // Room is read from the pre-dynamics entry-space snapshot: the next
+      // edge's lanes may belong to another shard (or merely come later in
+      // the serial scan), and this decision must not depend on either.
       const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
-      if (edge_count_[next.value()] != 0 && pick_entry_lane(next, veh.length) < 0) {
+      if (edge_count_[next.value()] != 0 && snapshot_entry_lane(next, veh.length) < 0) {
         gap = (seg.length - kStopMargin) - veh.position;
         lead_speed = 0.0;
       }
@@ -415,28 +584,47 @@ void SimEngine::dynamics_pass(std::uint32_t index) {
   }
 }
 
+void SimEngine::overtake_scan(VehicleId wid) {
+  const Vehicle* w = find_vehicle(wid);
+  if (w == nullptr || !w->alive) return;  // stale watch entry
+  const auto& seg = net_.segment(w->edge);
+  if (seg.lanes < 2) return;  // single-lane edges are FIFO by construction
+  for (int lane = 0; lane < seg.lanes; ++lane) {
+    for (const VehicleId xid : lane_vehicles(w->edge, lane)) {
+      if (xid == wid) continue;
+      const Vehicle& x = vehicles_[xid.slot()];
+      const double before = x.prev_position - w->prev_position;
+      const double after = x.position - w->position;
+      if (before == 0.0 || after == 0.0) continue;
+      if ((before < 0.0) != (after < 0.0)) {
+        push_event(OvertakeEvent{now_, w->edge, wid, xid, after > 0.0});
+      }
+    }
+  }
+}
+
 void SimEngine::detect_overtakes() {
   if (watched_.empty()) return;
   // watched_ is sorted by id, so the event order here is identical on every
   // platform — part of the bit-exact contract (an unordered_set would order
   // these by hash-table layout).
-  for (const VehicleId wid : watched_) {
-    const Vehicle* w = find_vehicle(wid);
-    if (w == nullptr || !w->alive) continue;  // stale watch entry
-    const auto& seg = net_.segment(w->edge);
-    if (seg.lanes < 2) continue;  // single-lane edges are FIFO by construction
-    for (int lane = 0; lane < seg.lanes; ++lane) {
-      for (const VehicleId xid : lane_vehicles(w->edge, lane)) {
-        if (xid == wid) continue;
-        const Vehicle& x = vehicles_[xid.slot()];
-        const double before = x.prev_position - w->prev_position;
-        const double after = x.position - w->position;
-        if (before == 0.0 || after == 0.0) continue;
-        if ((before < 0.0) != (after < 0.0)) {
-          push_event(OvertakeEvent{now_, w->edge, wid, xid, after > 0.0});
-        }
-      }
+  const std::size_t nshards = shard_count(watched_.size());
+  if (nshards <= 1) {
+    for (const VehicleId wid : watched_) overtake_scan(wid);
+    return;
+  }
+  // Read-only over vehicle state; each shard's overtake events go to its
+  // own buffer and are spliced back in shard order — contiguous chunks of
+  // a sorted list, so the merged stream is the serial watched-id order.
+  shard_even(watched_.size(), nshards, &shard_ranges_);
+  run_sharded(util::PerfPhase::Overtakes, [this](ShardContext& ctx) {
+    for (std::size_t i = ctx.range.begin; i < ctx.range.end; ++i) {
+      overtake_scan(watched_[i]);
     }
+  });
+  for (std::size_t s = 0; s < shard_ranges_.size(); ++s) {
+    events_emitted_ += shards_[s].events_emitted;
+    events_.splice(shards_[s].events);
   }
 }
 
@@ -445,10 +633,42 @@ void SimEngine::process_transits() {
   // Ascending lane-index order keeps despawn events in the segment-major
   // order the full scan emitted.
   scratch_lanes_.assign(occupied_lanes_.begin(), occupied_lanes_.end());
-  for (const std::uint32_t index : scratch_lanes_) collect_transit_candidates(index);
+  const std::size_t nshards = shard_count(scratch_lanes_.size());
+  if (nshards <= 1) {
+    for (const std::uint32_t index : scratch_lanes_) collect_transit_candidates(index);
+  } else {
+    // The O(occupied lanes) part of the phase is the front-past-the-end
+    // scan; shard that read-only filter, then replay only the hits through
+    // the ordinary serial body — despawn events and candidate registration
+    // land in shard (== lane) order, exactly as the serial scan emits
+    // them. A despawn removes only its own lane's front vehicle, so a hit
+    // identified by the scan is still a hit when replayed.
+    shard_worklist(
+        scratch_lanes_, nshards,
+        [this](std::uint32_t lane) { return lane_refs_[lane].edge.value(); },
+        &shard_ranges_);
+    run_sharded(util::PerfPhase::Transits, [this](ShardContext& ctx) {
+      for (std::size_t i = ctx.range.begin; i < ctx.range.end; ++i) {
+        const std::uint32_t index = scratch_lanes_[i];
+        const auto& lane_list = lanes_[index];
+        if (lane_list.empty()) continue;
+        const Vehicle& front = vehicles_[lane_list.back().slot()];
+        if (front.position >= net_.segment(lane_refs_[index].edge).length) {
+          ctx.transit_hits.push_back(index);
+        }
+      }
+    });
+    for (std::size_t s = 0; s < shard_ranges_.size(); ++s) {
+      for (const std::uint32_t index : shards_[s].transit_hits) {
+        collect_transit_candidates(index);
+      }
+    }
+  }
 
   // Only intersections that actually received a candidate, in node-id
   // order (matching the old every-intersection sweep, minus the no-ops).
+  // Admission is serial by design: it is O(active nodes), mutates lane
+  // membership across arbitrary segments, and assigns entry_seq numbers.
   std::sort(active_nodes_.begin(), active_nodes_.end());
   for (const roadnet::NodeId node_id : active_nodes_) admit_at_node(node_id);
   active_nodes_.clear();
@@ -530,6 +750,9 @@ void SimEngine::admit_at_node(roadnet::NodeId node_id) {
 
 void SimEngine::despawn(Vehicle& veh, roadnet::EdgeId edge) {
   IVC_ASSERT(veh.alive);
+  // Despawns mutate the alive index, watched list and free list — global
+  // structures the shards never touch; this must only run serially.
+  IVC_ASSERT(tls_shard_ == nullptr);
   remove_from_lane(veh);
   veh.alive = false;
   if (!veh.is_patrol && !net_.segment(veh.edge).is_gateway()) --population_inside_;

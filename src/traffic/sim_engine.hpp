@@ -9,11 +9,28 @@
 // overtakes, spawns/despawns).
 //
 // Determinism: given a seed and a fixed observer set, runs are bit-exact
-// across platforms and standard libraries. All iteration is in index or
-// sorted order (no unordered containers on any event-generating path);
-// events are delivered from a per-step buffer in generation order; every
-// random draw comes from seeded streams. This is what makes the parallel
-// benchmark sweeps reproducible.
+// across platforms, standard libraries AND thread counts. All iteration is
+// in index or sorted order (no unordered containers on any event-generating
+// path); events are delivered from a per-step buffer in generation order;
+// every random draw a worker thread can reach comes from a counter-based
+// per-vehicle stream (util::counter_mix), so a draw's value depends only on
+// the drawing vehicle's own history, never on who drew before it. This is
+// what makes the parallel benchmark sweeps — and the sharded step itself —
+// reproducible.
+//
+// Parallel stepping (SimConfig::threads > 1): the sorted occupied-lane
+// worklist is partitioned into contiguous shards on a resident fork-join
+// team. Lane changes run on segment-aligned shards (a lane change never
+// leaves its segment, so shards share no mutable state; occupancy-worklist
+// transitions are logged per shard and applied in shard order). Dynamics
+// reads cross-segment entry room from a per-step snapshot taken before the
+// phase, so integration order cannot leak between shards. Overtake
+// detection shards the sorted watched list, each shard writing its own
+// EventBuffer; buffers merge into the step buffer in shard order — which
+// IS serial order, because shards are contiguous ranges of a sorted list.
+// Transit candidate collection shards a read-only scan; despawns,
+// candidate registration and admission stay serial (they are O(transits)
+// and O(active nodes), not O(occupied lanes)).
 //
 // Cost model: every per-step phase is O(occupied lanes + vehicles), not
 // O(total lanes). The engine maintains a sorted worklist of non-empty
@@ -35,14 +52,17 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "roadnet/road_network.hpp"
 #include "traffic/events.hpp"
+#include "traffic/sharding.hpp"
 #include "traffic/vehicle.hpp"
 #include "util/perf.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ivc::traffic {
 
@@ -55,6 +75,11 @@ struct SimConfig {
   // Distance from the segment end at which a front vehicle starts treating
   // a blocked intersection as a stop line.
   double intersection_lookahead = 40.0;
+  // Worker threads for the sharded step phases: 1 = serial, 0 = hardware
+  // concurrency, N = a team of N (the calling thread is worker 0). The
+  // emitted event stream and every piece of engine state are bit-identical
+  // for every value — thread count is a throughput knob, never a seed.
+  int threads = 1;
   std::uint64_t seed = 1;
 
   [[nodiscard]] static SimConfig simple_model() {
@@ -162,6 +187,17 @@ class SimEngine {
 
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
+  // Resolved worker count for the sharded phases (1 when serial).
+  [[nodiscard]] std::size_t worker_count() const { return pool_ ? pool_->size() : 1; }
+
+  // One draw from `id`'s counter-based stream (advances the vehicle's
+  // counter). The route planner uses this to key all randomness of a
+  // replanning query to the vehicle that asked, which is what keeps
+  // replans issued concurrently from different shards schedule-independent.
+  // A stale/invalid id (direct harness calls on a bare engine) falls back
+  // to a stateless hash of the id.
+  [[nodiscard]] std::uint64_t draw_for(VehicleId id);
+
  protected:
   struct LaneRef {
     roadnet::EdgeId edge;
@@ -185,7 +221,9 @@ class SimEngine {
   // Per-lane / per-node phase bodies shared by the fast drivers above and
   // the reference kernel's full scans. Each is a no-op on an empty lane, so
   // a full scan over all lane indices performs the same per-vehicle work —
-  // and consumes the same RNG draws — as the worklist walk.
+  // and consumes the same RNG draws — as the worklist walk. They are also
+  // the exact bodies the parallel shards execute, which is why a sharded
+  // run reproduces the serial stream bit for bit.
   void lane_change_pass(std::uint32_t lane_idx);
   void dynamics_pass(std::uint32_t lane_idx);
   // Appends the lane's front vehicle to its node's candidate list (or
@@ -195,6 +233,22 @@ class SimEngine {
   // Admits this step's candidates at `node` (ordering, admission budget,
   // events) and clears the node's candidate list.
   void admit_at_node(roadnet::NodeId node);
+  // Order-flip scan for one watched vehicle (the per-item body of
+  // detect_overtakes).
+  void overtake_scan(VehicleId wid);
+
+  // Snapshot of per-lane entry room (rearmost position − length) for every
+  // occupied lane, taken at the top of the dynamics phase. dynamics_pass
+  // reads next-edge room from this snapshot instead of live positions, so
+  // the stop-line decision of a lane's front vehicle cannot depend on
+  // whether the next edge's lanes were integrated before or after it —
+  // neither across the serial scan order nor across shards. Must be called
+  // by every update_dynamics driver (the reference kernel's full scan
+  // included) before the first dynamics_pass.
+  void prepare_entry_space();
+  // pick_entry_lane against the snapshot (same tie-breaks); admission and
+  // spawning keep using the live pick_entry_lane below.
+  [[nodiscard]] int snapshot_entry_lane(roadnet::EdgeId edge, double len) const;
 
   // True if lane `lane` of `edge` has room for a vehicle of length `len`
   // entering at position 0.
@@ -216,8 +270,53 @@ class SimEngine {
   [[nodiscard]] VehicleId allocate_slot();
   void despawn(Vehicle& veh, roadnet::EdgeId edge);
 
+  // Per-worker context for one sharded phase execution. Everything a shard
+  // produces beyond its own vehicles' state lands here and is merged into
+  // the engine's canonical structures — in shard order — after the join.
+  struct ShardContext {
+    ShardRange range;
+    // Events emitted by this shard (overtakes), spliced in shard order.
+    EventBuffer events;
+    std::uint64_t events_emitted = 0;
+    // Occupancy-worklist transitions (lane index, became-occupied) logged
+    // during sharded lane changes, applied serially in shard order.
+    std::vector<std::pair<std::uint32_t, bool>> occupancy_log;
+    // Lanes whose front vehicle crossed the segment end (transit scan).
+    std::vector<std::uint32_t> transit_hits;
+    // Busy nanoseconds of this shard's task (perf runs only).
+    std::uint64_t busy_nanos = 0;
+
+    void reset() {
+      // The events buffer is normally drained by the merge; clearing it
+      // here too keeps a phase abandoned mid-way (a throwing planner
+      // callback) from leaking its events into a later step's merge.
+      events.clear();
+      events_emitted = 0;
+      occupancy_log.clear();
+      transit_hits.clear();
+      busy_nanos = 0;
+    }
+  };
+
+  // Shard count for a worklist of `items` (1 = run the phase serially).
+  [[nodiscard]] std::size_t shard_count(std::size_t items) const;
+  // Runs `body(shard)` for every shard of shards_ on the fork-join team,
+  // with the calling worker's ShardContext installed in tls_shard_ for the
+  // duration; accumulates busy time per shard when perf is attached, and
+  // reports the sum to the collector under `phase` after the join.
+  void run_sharded(util::PerfPhase phase,
+                   const std::function<void(ShardContext&)>& body);
+
   template <typename Event>
   void push_event(Event&& event) {
+    // Sharded phases write their own buffer; the serial path appends to
+    // the step buffer directly. Shard buffers are spliced back in shard
+    // order, so delivery order is identical either way.
+    if (ShardContext* shard = tls_shard_) {
+      ++shard->events_emitted;
+      shard->events.push(std::forward<Event>(event));
+      return;
+    }
     ++events_emitted_;
     events_.push(std::forward<Event>(event));
   }
@@ -255,6 +354,22 @@ class SimEngine {
   std::vector<std::uint32_t> occupied_lanes_;
   std::vector<std::uint32_t> scratch_lanes_;
   std::size_t peak_occupied_lanes_ = 0;
+
+  // Per-vehicle stream key base (see Vehicle::rng_key).
+  std::uint64_t vehicle_stream_seed_ = 0;
+  // Per-lane entry-room snapshot for the dynamics phase; entries are valid
+  // only for lanes occupied when prepare_entry_space() ran (empty lanes
+  // are detected live — membership never changes during dynamics).
+  std::vector<double> entry_space_;
+  // Fork-join team (threads > 1 only) and its per-worker shard contexts.
+  std::unique_ptr<util::ForkJoinPool> pool_;
+  std::vector<ShardContext> shards_;
+  std::vector<ShardRange> shard_ranges_;  // scratch for the partitioner
+  // Worker-local shard context during a sharded phase; null on every
+  // serial path. Thread-local because the team's workers are dedicated
+  // threads; the calling thread installs/restores its own slot around the
+  // fork-join.
+  static thread_local ShardContext* tls_shard_;
   std::vector<std::uint32_t> edge_count_;      // vehicles per edge (all lanes)
   std::vector<roadnet::NodeId> active_nodes_;  // nodes with transit candidates
 

@@ -33,9 +33,20 @@ enum class PerfPhase : std::uint8_t {
 
 struct PerfPhaseStats {
   std::uint64_t calls = 0;
+  // Wall-clock time of the phase as the step loop sees it (the PerfTimer
+  // wraps the whole phase, parallel or not).
   std::uint64_t nanos = 0;
+  // Cumulative busy time across the worker team when the phase ran
+  // sharded (sum of per-worker task durations; 0 for phases that only
+  // ever ran serially). With threads > 1 this can exceed `nanos` — wall
+  // and CPU are reported separately precisely because parallel phases no
+  // longer sum to the run's wall time.
+  std::uint64_t parallel_nanos = 0;
 
   [[nodiscard]] double seconds() const { return static_cast<double>(nanos) * 1e-9; }
+  [[nodiscard]] double parallel_seconds() const {
+    return static_cast<double>(parallel_nanos) * 1e-9;
+  }
 };
 
 class PerfCollector {
@@ -46,6 +57,13 @@ class PerfCollector {
     PerfPhaseStats& stats = phases_[static_cast<std::size_t>(phase)];
     ++stats.calls;
     stats.nanos += nanos;
+  }
+
+  // Worker busy time for one sharded execution of `phase`. The engine sums
+  // its shards' task durations after the join and reports them in a single
+  // call, so the collector itself stays single-threaded.
+  void add_parallel(PerfPhase phase, std::uint64_t nanos) {
+    phases_[static_cast<std::size_t>(phase)].parallel_nanos += nanos;
   }
 
   [[nodiscard]] const PerfPhaseStats& phase(PerfPhase phase) const {

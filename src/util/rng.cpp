@@ -27,21 +27,7 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
-  IVC_ASSERT(n > 0);
-  // Lemire's nearly-divisionless bounded generation (bias negligible for
-  // simulation purposes; rejection loop keeps it exact).
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * n;
-  auto l = static_cast<std::uint64_t>(m);
-  if (l < n) {
-    const std::uint64_t t = (0 - n) % n;
-    while (l < t) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * n;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
+  return detail::bounded_index(*this, n);
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {

@@ -31,6 +31,85 @@ namespace ivc::util {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::string_view tag);
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt);
 
+// Counter-based draw: the i-th value of the stream keyed by `key`. This is
+// SplitMix64 evaluated at state key + (counter+1)*gamma — a pure function
+// of (key, counter), so draw #i of a stream has the same value no matter
+// which other streams drew before it, on which thread, in which order.
+// That property is what makes the engine's parallel step phases
+// schedule-independent: per-entity streams replace the shared sequential
+// generator on every draw site a worker thread can reach.
+[[nodiscard]] constexpr std::uint64_t counter_mix(std::uint64_t key, std::uint64_t counter) {
+  std::uint64_t z = key + (counter + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+// Lemire's nearly-divisionless bounded generation, shared by Rng and
+// StreamRng (rejection loop keeps it exact).
+template <typename Gen>
+[[nodiscard]] std::uint64_t bounded_index(Gen& gen, std::uint64_t n) {
+  IVC_ASSERT(n > 0);
+  std::uint64_t x = gen.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = gen.next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+}  // namespace detail
+
+// A counter-based stream: (key, counter) fully determine every draw, so
+// two StreamRngs with the same key replay the same sequence regardless of
+// interleaving with any other generator. Copyable 16-byte value type —
+// resume a suspended stream by constructing from (key(), draws()).
+class StreamRng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit StreamRng(std::uint64_t key, std::uint64_t start_counter = 0)
+      : key_(key), counter_(start_counter) {}
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next() { return counter_mix(key_, counter_++); }
+
+  // Uniform double in [0, 1): 53 high bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  double uniform(double lo, double hi) {
+    IVC_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+  std::uint64_t uniform_index(std::uint64_t n) { return detail::bounded_index(*this, n); }
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    IVC_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+  }
+
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+  // Draws consumed so far; persist this to suspend/resume the stream.
+  [[nodiscard]] std::uint64_t draws() const { return counter_; }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_;
+};
+
 class Rng {
  public:
   using result_type = std::uint64_t;

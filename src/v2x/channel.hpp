@@ -10,6 +10,8 @@
 // always reliable.
 #pragma once
 
+#include <cstdint>
+
 #include "util/rng.hpp"
 
 namespace ivc::v2x {
@@ -18,7 +20,7 @@ class Channel {
  public:
   Channel(double loss_probability, std::uint64_t seed)
       : loss_probability_(loss_probability),
-        rng_(util::derive_seed(seed, "v2x-channel")) {
+        seed_(util::derive_seed(seed, "v2x-channel")) {
     IVC_ASSERT(loss_probability >= 0.0 && loss_probability <= 1.0);
   }
 
@@ -29,13 +31,26 @@ class Channel {
   // benches can compare attempt volume across loss configurations. Call
   // sites must route lossless pickups through here rather than
   // short-circuiting on the loss probability, or attempts() undercounts.
-  [[nodiscard]] bool pickup_succeeds() {
+  //
+  // `entity` keys the draw to the vehicle making the exchange and
+  // `attempt` is that entity's own exchange ordinal (the caller owns the
+  // counter — the protocol keeps it in the vehicle's OBU record, whose
+  // storage is already bounded by peak concurrency): outcome #n for
+  // entity e is counter_mix(seed ⊕ e, n), a pure function of the
+  // entity's own attempt history. Whether some other vehicle exchanged
+  // first — which can legitimately differ between protocol variants and
+  // event interleavings — can no longer perturb every draw after it.
+  [[nodiscard]] bool pickup_succeeds(std::uint64_t entity, std::uint64_t attempt) {
     ++attempts_;
     if (loss_probability_ <= 0.0) return true;
-    const bool ok = !rng_.bernoulli(loss_probability_);
+    util::StreamRng draw(util::derive_seed(seed_, entity), attempt);
+    const bool ok = !draw.bernoulli(loss_probability_);
     if (!ok) ++failures_;
     return ok;
   }
+  // Anonymous exchange (micro-benches, unit tests): entity 0's stream,
+  // ordinals from a channel-local counter.
+  [[nodiscard]] bool pickup_succeeds() { return pickup_succeeds(0, anonymous_attempts_++); }
 
   [[nodiscard]] double loss_probability() const { return loss_probability_; }
 
@@ -44,7 +59,8 @@ class Channel {
 
  private:
   double loss_probability_;
-  util::Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t anonymous_attempts_ = 0;  // backs the no-entity overload
   std::uint64_t attempts_ = 0;
   std::uint64_t failures_ = 0;
 };

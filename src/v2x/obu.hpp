@@ -32,6 +32,13 @@ struct ObuState {
   // Routed messages being ferried to the next checkpoint.
   std::vector<Message> cargo;
 
+  // Lossy-exchange ordinal for this vehicle's counter-based channel
+  // stream (see Channel::pickup_succeeds). Lives here rather than in a
+  // per-entity map inside the channel so storage stays O(peak concurrent
+  // vehicles): the slot's next occupant starts from a fresh OBU — and a
+  // fresh stream, because its generational id gives it a different key.
+  std::uint64_t channel_attempts = 0;
+
   [[nodiscard]] bool has_label() const { return label.has_value(); }
 };
 

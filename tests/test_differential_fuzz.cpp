@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "experiment/registry.hpp"
 #include "testing/diff_runner.hpp"
 #include "testing/fuzzer.hpp"
 #include "testing/reference_kernel.hpp"
@@ -72,6 +73,31 @@ TEST(DifferentialFuzz, ConvergedCasesAreExact) {
   EXPECT_GT(converged, 5) << "seed bank no longer reaches convergence; rebalance the fuzzer";
 }
 
+// The same bank in parallel-vs-serial mode: every case run on the fast
+// engine at 2 workers and at hardware concurrency must produce digests
+// byte-identical to the fast engine at threads=1. This is the machine
+// check that SimConfig::threads is a throughput knob, not a seed — the
+// PR-4 harness was built exactly to de-risk this kind of refactor.
+TEST(DifferentialFuzz, SeedBankParallelMatchesSerial) {
+  int failures = 0;
+  for (int i = 0; i < kBankCases; ++i) {
+    const std::uint64_t seed = bank_seed(kBankCampaignSeed, static_cast<std::uint64_t>(i));
+    for (const int threads : {2, 0 /* hardware concurrency */}) {
+      const DiffResult diff = diff_case_threads(seed, threads);
+      if (!diff.match) {
+        ++failures;
+        ADD_FAILURE() << "case " << i << " diverged across thread counts\n  "
+                      << diff.summary << "\n  divergence: " << diff.divergence
+                      << "\n  replay: ivc_fuzz --parallel-diff --threads " << threads
+                      << " --replay "
+                      << util::format("0x%llx", static_cast<unsigned long long>(seed));
+      }
+    }
+    if (failures >= 3) break;  // enough signal; keep the log readable
+  }
+  EXPECT_EQ(failures, 0);
+}
+
 // ---- injected-bug self-tests ------------------------------------------------
 
 // Skips the last occupied-lane worklist entry in the dynamics phase — the
@@ -82,6 +108,9 @@ class SkipLastLaneEngine final : public traffic::SimEngine {
 
  protected:
   void update_dynamics() override {
+    // Take the entry-room snapshot like every legitimate driver, so the
+    // injected defect stays exactly the worklist skip under test.
+    prepare_entry_space();
     for (std::size_t w = 0; w + 1 < occupied_lanes_.size(); ++w) {
       dynamics_pass(occupied_lanes_[w]);
     }
@@ -170,6 +199,18 @@ TEST(DifferentialFuzz, NamedScenariosDiffClean) {
     EXPECT_GT(diff->fast.steps, 0u);
   }
   EXPECT_FALSE(diff_named_scenario("no-such-scenario").has_value());
+}
+
+TEST(DifferentialFuzz, EveryRegistryScenarioParallelMatchesSerial) {
+  // The whole catalogue — every topology family, dense and sparse, closed
+  // and open — at 4 workers vs serial, at smoke scale.
+  for (const auto& entry : experiment::ScenarioRegistry::builtin().entries()) {
+    const auto diff = diff_named_scenario_threads(entry.name, 4);
+    ASSERT_TRUE(diff.has_value()) << entry.name;
+    EXPECT_TRUE(diff->match) << diff->summary << "\n  divergence: " << diff->divergence;
+    EXPECT_GT(diff->fast.steps, 0u) << entry.name;
+  }
+  EXPECT_FALSE(diff_named_scenario_threads("no-such-scenario", 4).has_value());
 }
 
 }  // namespace

@@ -30,9 +30,14 @@ struct Pin {
 // Pinned on the reference machine; stable across gcc/clang and libstdc++/
 // libc++ by the engine's determinism contract (no unordered containers on
 // any event-generating path, all seeds derived).
+// Re-pinned for PR 5 (intentional drift, called out in the PR): router
+// jitter, demand continuations and channel outcomes moved from shared
+// sequential generators to counter-based per-entity streams, and the
+// dynamics stop-line room check now reads a pre-phase snapshot — both
+// required for schedule-independent parallel stepping.
 constexpr Pin kPins[] = {
-    {"roundabout-town-lossless", 0x3167d418b102a9a7ull, 718},
-    {"manhattan-open-steady", 0x942e8e8ab4cbf3a9ull, 5275},
+    {"roundabout-town-lossless", 0x09000cad5663c7b9ull, 455},
+    {"manhattan-open-steady", 0xf053ac3c1b1259aaull, 5607},
 };
 
 TEST(SeedStability, PinnedScenariosProducePinnedEventStreams) {
@@ -42,6 +47,14 @@ TEST(SeedStability, PinnedScenariosProducePinnedEventStreams) {
     ASSERT_NE(scenario, nullptr) << pin.scenario;
     const RunDigest digest =
         run_digest_fast(scenario->make(experiment::ScenarioScale::Smoke));
+    // The same pins must hold with the step phases sharded across four
+    // workers: thread count is a throughput knob, not a seed.
+    experiment::ScenarioConfig threaded = scenario->make(experiment::ScenarioScale::Smoke);
+    threaded.sim.threads = 4;
+    const RunDigest threaded_digest = run_digest_fast(threaded);
+    EXPECT_EQ(threaded_digest.event_hash, digest.event_hash)
+        << pin.scenario << ": sharded run diverged from serial";
+    EXPECT_EQ(threaded_digest.events, digest.events) << pin.scenario;
     EXPECT_EQ(digest.event_hash, pin.event_hash)
         << pin.scenario << ": event stream drifted.\n"
         << "  pinned: hash=0x" << std::hex << pin.event_hash << std::dec

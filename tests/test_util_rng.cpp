@@ -172,6 +172,79 @@ TEST(DeriveSeed, SaltVariant) {
   EXPECT_EQ(derive_seed(1, std::uint64_t{5}), derive_seed(1, std::uint64_t{5}));
 }
 
+// ---- counter-based streams --------------------------------------------------
+
+TEST(StreamRng, DrawIsPureFunctionOfKeyAndCounter) {
+  // The whole point of the counter-based construction: draw #i never
+  // depends on interleaving with any other stream or on draws #0..i-1
+  // having actually happened.
+  StreamRng a(99);
+  std::vector<std::uint64_t> sequence;
+  for (int i = 0; i < 64; ++i) sequence.push_back(a.next());
+  for (int i = 63; i >= 0; --i) {
+    EXPECT_EQ(counter_mix(99, static_cast<std::uint64_t>(i)),
+              sequence[static_cast<std::size_t>(i)]);
+  }
+  // Resuming from a persisted counter replays the suffix exactly.
+  StreamRng resumed(99, 32);
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(resumed.next(), sequence[static_cast<std::size_t>(i)]);
+}
+
+TEST(StreamRng, InterleavingCannotPerturbValues) {
+  StreamRng a(5), b(6), interleaved_a(5);
+  StreamRng noise(7);
+  std::vector<std::uint64_t> clean;
+  for (int i = 0; i < 100; ++i) clean.push_back(a.next());
+  for (int i = 0; i < 100; ++i) {
+    (void)noise.next();
+    (void)b.next();
+    EXPECT_EQ(interleaved_a.next(), clean[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(StreamRng, KeysAreIndependent) {
+  StreamRng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StreamRng, UniformIndexBoundsAndBalance) {
+  StreamRng r(21);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto idx = r.uniform_index(10);
+    ASSERT_LT(idx, 10u);
+    ++histogram[idx];
+  }
+  for (const int count : histogram) EXPECT_NEAR(count, 10000, 1500);
+}
+
+TEST(StreamRng, BernoulliRateAndEdgeCases) {
+  StreamRng r(22);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(StreamRng, DrawsCounterTracksConsumption) {
+  StreamRng r(23);
+  EXPECT_EQ(r.draws(), 0u);
+  (void)r.next();
+  (void)r.uniform();
+  EXPECT_EQ(r.draws(), 2u);
+  EXPECT_EQ(r.key(), 23u);
+}
+
 // Property sweep: bounded draws stay in range for many bounds.
 class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
 
