@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "experiment/harness.hpp"
@@ -149,16 +150,42 @@ struct PerfRun {
   ivc::util::PerfCollector collector;
 };
 
+// JSON string escaping for the host fields (uname output is
+// free-form text; everything else we emit is already JSON-safe).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void write_perf_json(std::ostream& out, const std::vector<PerfRun>& runs, bool smoke) {
   out << "{\n";
-  // v2: adds per-run "threads", per-phase "cpu_seconds" and the explicit
-  // "phase_wall_seconds_sum". With threads > 1 the step phases overlap
+  // v3: adds the "host" object (logical core count + kernel identity) so a
+  // consumer can tell whether a threads>1 row was measured on hardware
+  // that could actually run the workers in parallel — the committed
+  // BENCH_pr5.json was taken on a 1-core host and its threads=4 rows
+  // recorded pure overhead, which nothing in the file admitted. Also per
+  // v3, "cpu_seconds" is real thread-CPU time (serial phases included),
+  // not just cumulative sharded busy wall time.
+  // v2 added per-run "threads", per-phase "cpu_seconds" and the explicit
+  // "phase_wall_seconds_sum": with threads > 1 the step phases overlap
   // across workers, so per-phase wall times no longer sum to the run's
-  // wall clock and a phase's cumulative CPU can exceed its wall time —
-  // the schema now reports both instead of implying serial==wall.
-  out << "  \"schema\": \"ivc-perf-v2\",\n";
+  // wall clock and a phase's cumulative CPU can exceed its wall time.
+  out << "  \"schema\": \"ivc-perf-v3\",\n";
   out << "  \"bench\": \"ivc_bench --perf\",\n";
   out << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  out << "  \"host\": {\n";
+  out << util::format("    \"nproc\": %u,\n", std::thread::hardware_concurrency());
+  out << "    \"uname\": \"" << json_escape(util::host_uname()) << "\"\n";
+  out << "  },\n";
   out << "  \"peak_rss_bytes\": " << util::peak_rss_bytes() << ",\n";
   out << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -198,13 +225,17 @@ void write_perf_json(std::ostream& out, const std::vector<PerfRun>& runs, bool s
     for (std::size_t p = 0; p < phases.size(); ++p) {
       const auto phase = static_cast<util::PerfPhase>(p);
       // "seconds" = the phase's wall clock as the step loop sees it;
-      // "cpu_seconds" = cumulative worker busy time of its sharded
-      // executions (0.0 when the phase only ever ran serially).
+      // "cpu_seconds" = thread-CPU time across every thread that worked
+      // on the phase (caller + parked workers); "busy_seconds" = the
+      // cumulative wall time of sharded executions (0.0 for phases that
+      // only ever ran serially).
       out << util::format("        {\"phase\": \"%s\", \"calls\": %llu, "
-                          "\"seconds\": %.6f, \"cpu_seconds\": %.6f}%s\n",
+                          "\"seconds\": %.6f, \"cpu_seconds\": %.6f, "
+                          "\"busy_seconds\": %.6f}%s\n",
                           util::perf_phase_name(phase),
                           static_cast<unsigned long long>(phases[p].calls),
-                          phases[p].seconds(), phases[p].parallel_seconds(),
+                          phases[p].seconds(), phases[p].cpu_seconds(),
+                          phases[p].parallel_seconds(),
                           p + 1 < phases.size() ? "," : "");
     }
     out << "      ]\n";
@@ -331,7 +362,7 @@ int main(int argc, char** argv) {
   std::string volumes_csv;
   std::string seeds_csv;
   std::string out_path;
-  std::string perf_out = "BENCH_pr5.json";
+  std::string perf_out = "BENCH_pr6.json";
   std::string perf_scenarios = kDefaultPerfScenarios;
   std::string perf_threads = "1";
 

@@ -21,10 +21,10 @@ void Oracle::on_interaction_exit(traffic::VehicleId /*veh*/, roadnet::NodeId /*n
 std::int64_t Oracle::true_population() const {
   std::int64_t n = 0;
   for (const traffic::VehicleId id : engine_.alive_vehicles()) {
-    const traffic::Vehicle& veh = engine_.vehicle(id);
-    if (veh.is_patrol) continue;
-    if (!recognizer_.matches(veh.attrs)) continue;
-    if (engine_.network().segment(veh.edge).is_gateway()) continue;
+    const traffic::VehicleRef veh = engine_.vehicle(id);
+    if (veh.is_patrol()) continue;
+    if (!recognizer_.matches(veh.attrs())) continue;
+    if (engine_.network().segment(veh.edge()).is_gateway()) continue;
     ++n;
   }
   return n;
@@ -47,9 +47,9 @@ Verdict Oracle::verify_exactly_once() const {
   std::uint64_t missed = 0;
   std::uint64_t doubled = 0;
   for (const traffic::VehicleId id : engine_.alive_vehicles()) {
-    const traffic::Vehicle& veh = engine_.vehicle(id);
-    if (veh.is_patrol || !recognizer_.matches(veh.attrs)) continue;
-    const int times = times_counted(veh.id);
+    const traffic::VehicleRef veh = engine_.vehicle(id);
+    if (veh.is_patrol() || !recognizer_.matches(veh.attrs())) continue;
+    const int times = times_counted(veh.id());
     if (times == 0) ++missed;
     if (times > 1) ++doubled;
   }

@@ -299,11 +299,11 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
   if (!started_) return;
   const auto& net = engine_.network();
   Checkpoint& cp = checkpoints_[event.node.value()];
-  const traffic::Vehicle& veh = engine_.vehicle(event.vehicle);
+  const traffic::VehicleRef veh = engine_.vehicle(event.vehicle);
   v2x::ObuState& obu = obus_.get(event.vehicle);
   const util::SimTime now = event.time;
-  const bool is_patrol = veh.is_patrol;
-  const bool matches = recognizer_.matches(veh.attrs);
+  const bool is_patrol = veh.is_patrol();
+  const bool matches = recognizer_.matches(veh.attrs());
   const auto& from_seg = net.segment(event.from_edge);
   const auto& to_seg = net.segment(event.to_edge);
 
@@ -337,8 +337,8 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
       !from_seg.is_gateway()) {
     const traffic::VehicleId marker_id = marker_on_edge_[event.from_edge.value()];
     if (marker_id.valid()) {
-      const traffic::Vehicle& marker_veh = engine_.vehicle(marker_id);
-      if (event.from_entry_seq > marker_veh.entry_seq) {
+      const traffic::VehicleRef marker_veh = engine_.vehicle(marker_id);
+      if (event.from_entry_seq > marker_veh.entry_seq()) {
         obus_.get(marker_id).overtake_delta -= 1;
         ++stats_.overtake_events;
       }
@@ -377,9 +377,9 @@ void CountingProtocol::on_transit(const traffic::TransitEvent& event) {
       const auto& seg = net.segment(event.from_edge);
       for (int lane = 0; lane < seg.lanes; ++lane) {
         for (const traffic::VehicleId yid : engine_.lane_vehicles(event.from_edge, lane)) {
-          const traffic::Vehicle& y = engine_.vehicle(yid);
-          if (y.entry_seq >= event.from_entry_seq) continue;
-          if (y.is_patrol || !recognizer_.matches(y.attrs)) continue;
+          const traffic::VehicleRef y = engine_.vehicle(yid);
+          if (y.entry_seq() >= event.from_entry_seq) continue;
+          if (y.is_patrol() || !recognizer_.matches(y.attrs())) continue;
           obus_.get(yid).counted = true;
           ++plus;
           ++stats_.overtake_events;

@@ -159,7 +159,7 @@ RunMetrics run_scenario_with(const ScenarioConfig& config, const RunHooks& hooks
   metrics.sim_events = engine.events_emitted();
   metrics.transits = engine.total_transits();
   metrics.total_spawned = engine.total_spawned();
-  metrics.peak_vehicle_slots = engine.vehicles().size();
+  metrics.peak_vehicle_slots = engine.vehicle_slot_count();
   metrics.total_lanes = engine.total_lanes();
   metrics.peak_occupied_lanes = engine.peak_occupied_lanes();
 

@@ -20,8 +20,8 @@ void EventStreamHasher::mix(std::uint64_t v) {
 bool EventStreamHasher::countable(traffic::VehicleId id) const {
   // During the flush the record is still addressable even for vehicles
   // despawned this step (the engine defers slot recycling).
-  const traffic::Vehicle* veh = engine_->find_vehicle(id);
-  return veh != nullptr && !veh->is_patrol;
+  const auto veh = engine_->find_vehicle(id);
+  return veh.has_value() && !veh->is_patrol();
 }
 
 void EventStreamHasher::on_spawn(const traffic::SpawnEvent& e) {

@@ -94,17 +94,17 @@ void ReferenceKernel::check_invariants() {
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     const auto& lane_list = lanes_[i];
     for (std::size_t k = 0; k < lane_list.size(); ++k) {
-      const traffic::Vehicle* veh = find_vehicle(lane_list[k]);
-      if (veh == nullptr || !veh->alive) {
+      const auto veh = find_vehicle(lane_list[k]);
+      if (!veh || !veh->alive()) {
         record_violation(util::format("lane %zu holds a dead/stale vehicle id at step %llu", i,
                                       static_cast<unsigned long long>(step_count())));
         break;
       }
-      if (lane_index(veh->edge, veh->lane) != i) {
+      if (lane_index(veh->edge(), veh->lane()) != i) {
         record_violation(util::format("vehicle on lane %zu believes it is elsewhere", i));
         break;
       }
-      if (k > 0 && vehicle(lane_list[k - 1]).position > veh->position) {
+      if (k > 0 && vehicle(lane_list[k - 1]).position() > veh->position()) {
         record_violation(util::format("lane %zu not sorted by position at step %llu", i,
                                       static_cast<unsigned long long>(step_count())));
         break;
@@ -112,10 +112,15 @@ void ReferenceKernel::check_invariants() {
     }
   }
 
-  // Dense alive index resolves, and its size matches a full slot scan.
+  // The SoA arrays carry one row per slot...
+  if (!store().rows_consistent()) {
+    record_violation(util::format("SoA store rows inconsistent at step %llu",
+                                  static_cast<unsigned long long>(step_count())));
+  }
+  // ...the dense alive index resolves, and its size matches a full slot scan.
   std::size_t alive_scan = 0;
-  for (const auto& veh : vehicles()) {
-    if (veh.alive) ++alive_scan;
+  for (const traffic::VehicleCold& cold : store().cold) {
+    if (cold.alive) ++alive_scan;
   }
   if (alive_scan != alive_count()) {
     record_violation(util::format("alive index size %zu but slot scan finds %zu alive",
@@ -126,8 +131,8 @@ void ReferenceKernel::check_invariants() {
 std::size_t reference_population_inside(const traffic::SimEngine& engine) {
   std::size_t n = 0;
   for (const traffic::VehicleId id : engine.alive_vehicles()) {
-    const traffic::Vehicle& veh = engine.vehicle(id);
-    if (!veh.is_patrol && !engine.network().segment(veh.edge).is_gateway()) ++n;
+    const traffic::VehicleRef veh = engine.vehicle(id);
+    if (!veh.is_patrol() && !engine.network().segment(veh.edge()).is_gateway()) ++n;
   }
   return n;
 }

@@ -65,22 +65,22 @@ const std::vector<VehicleId>& SimEngine::lane_vehicles(roadnet::EdgeId edge, int
   return lanes_[lane_index(edge, lane)];
 }
 
-const Vehicle& SimEngine::vehicle(VehicleId id) const {
-  IVC_ASSERT(id.valid() && id.slot() < vehicles_.size());
-  IVC_ASSERT_MSG(vehicles_[id.slot()].id == id, "stale vehicle id (slot recycled)");
-  return vehicles_[id.slot()];
+VehicleRef SimEngine::vehicle(VehicleId id) const {
+  IVC_ASSERT(id.valid() && id.slot() < store_.slot_count());
+  IVC_ASSERT_MSG(store_.cold[id.slot()].id == id, "stale vehicle id (slot recycled)");
+  return VehicleRef(store_, id.slot());
 }
 
-const Vehicle* SimEngine::find_vehicle(VehicleId id) const {
-  if (!id.valid() || id.slot() >= vehicles_.size()) return nullptr;
-  const Vehicle& veh = vehicles_[id.slot()];
-  return veh.id == id ? &veh : nullptr;
+std::optional<VehicleRef> SimEngine::find_vehicle(VehicleId id) const {
+  if (!id.valid() || id.slot() >= store_.slot_count()) return std::nullopt;
+  if (store_.cold[id.slot()].id != id) return std::nullopt;
+  return VehicleRef(store_, id.slot());
 }
 
 std::uint64_t SimEngine::draw_for(VehicleId id) {
-  if (id.valid() && id.slot() < vehicles_.size() && vehicles_[id.slot()].id == id) {
-    Vehicle& veh = vehicles_[id.slot()];
-    return util::counter_mix(veh.rng_key, veh.rng_draws++);
+  if (id.valid() && id.slot() < store_.slot_count() && store_.cold[id.slot()].id == id) {
+    VehicleCold& cold = store_.cold[id.slot()];
+    return util::counter_mix(cold.rng_key, cold.rng_draws++);
   }
   // Stale or never-spawned id (direct harness calls): stateless hash.
   return util::derive_seed(vehicle_stream_seed_, id.value());
@@ -88,7 +88,7 @@ std::uint64_t SimEngine::draw_for(VehicleId id) {
 
 double SimEngine::mean_speed() const {
   double sum = 0.0;
-  for (const VehicleId id : alive_) sum += vehicles_[id.slot()].speed;
+  for (const VehicleId id : alive_) sum += store_.speed[id.slot()];
   return alive_.empty() ? 0.0 : sum / static_cast<double>(alive_.size());
 }
 
@@ -133,31 +133,33 @@ bool SimEngine::debug_occupancy_consistent() const {
   return true;
 }
 
-void SimEngine::remove_from_lane(const Vehicle& veh) {
-  const std::size_t index = lane_index(veh.edge, veh.lane);
+void SimEngine::remove_from_lane(VehicleId id) {
+  const std::uint32_t slot = id.slot();
+  const std::size_t index = lane_index(store_.edge[slot], store_.lane[slot]);
   auto& lane = lanes_[index];
-  const auto it = std::find(lane.begin(), lane.end(), veh.id);
+  const auto it = std::find(lane.begin(), lane.end(), id);
   IVC_ASSERT(it != lane.end());
   lane.erase(it);
   if (lane.empty()) mark_lane_empty(index);
-  --edge_count_[veh.edge.value()];
+  --edge_count_[store_.edge[slot].value()];
 }
 
-void SimEngine::insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane,
+void SimEngine::insert_into_lane(VehicleId id, roadnet::EdgeId edge, int lane,
                                  double position) {
-  veh.edge = edge;
-  veh.lane = lane;
-  veh.position = position;
-  veh.prev_position = position;
+  const std::uint32_t slot = id.slot();
+  store_.edge[slot] = edge;
+  store_.lane[slot] = lane;
+  store_.position[slot] = position;
+  store_.prev_position[slot] = position;
   const std::size_t index = lane_index(edge, lane);
   auto& vehicles = lanes_[index];
   if (vehicles.empty()) mark_lane_occupied(index);
   ++edge_count_[edge.value()];
   const auto it = std::lower_bound(vehicles.begin(), vehicles.end(), position,
-                                   [this](VehicleId id, double pos) {
-                                     return vehicles_[id.slot()].position < pos;
+                                   [this](VehicleId vid, double pos) {
+                                     return store_.position[vid.slot()] < pos;
                                    });
-  vehicles.insert(it, veh.id);
+  vehicles.insert(it, id);
 }
 
 VehicleId SimEngine::allocate_slot() {
@@ -165,10 +167,9 @@ VehicleId SimEngine::allocate_slot() {
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
     // The dead record still carries the previous id; bump its generation.
-    return VehicleId{slot, vehicles_[slot].id.generation() + 1};
+    return VehicleId{slot, store_.cold[slot].id.generation() + 1};
   }
-  const auto slot = static_cast<std::uint32_t>(vehicles_.size());
-  vehicles_.emplace_back();
+  const std::uint32_t slot = store_.push_slot();
   alive_pos_.push_back(0);
   return VehicleId{slot, 0};
 }
@@ -184,42 +185,48 @@ VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
   // Validate the jam gap against in-lane neighbors.
   const auto& lane_list = lane_vehicles(edge, lane);
   const auto it = std::lower_bound(lane_list.begin(), lane_list.end(), position,
-                                   [this](VehicleId id, double pos) {
-                                     return vehicles_[id.slot()].position < pos;
+                                   [this](VehicleId vid, double pos) {
+                                     return store_.position[vid.slot()] < pos;
                                    });
   if (it != lane_list.end()) {
-    const auto& ahead = vehicles_[it->slot()];
-    if (ahead.position - ahead.length - position < kMinSeparation) return VehicleId::invalid();
+    const std::uint32_t ahead = it->slot();
+    if (store_.position[ahead] - store_.length[ahead] - position < kMinSeparation) {
+      return VehicleId::invalid();
+    }
   }
   if (it != lane_list.begin()) {
-    const auto& behind = vehicles_[(it - 1)->slot()];
-    if (position - len - behind.position < kMinSeparation) return VehicleId::invalid();
+    const std::uint32_t behind = (it - 1)->slot();
+    if (position - len - store_.position[behind] < kMinSeparation) {
+      return VehicleId::invalid();
+    }
   }
 
   const VehicleId id = allocate_slot();
-  Vehicle& veh = vehicles_[id.slot()];
-  veh = Vehicle{};
-  veh.id = id;
-  veh.attrs = attrs;
-  veh.alive = true;
-  veh.is_patrol = is_patrol;
-  veh.length = len;
-  veh.desired_speed_factor = desired_speed_factor;
-  veh.route = std::move(route);
-  veh.speed = 0.0;
-  veh.entry_seq = ++entry_seq_counter_;
+  const std::uint32_t slot = id.slot();
+  // Fresh hot row + cold record: a recycled slot must not leak the previous
+  // generation's kinematics, route or RNG counter into the new vehicle.
+  store_.reset_slot(slot);
+  VehicleCold& cold = store_.cold[slot];
+  cold.id = id;
+  cold.attrs = attrs;
+  cold.alive = true;
+  cold.route = std::move(route);
+  cold.entry_seq = ++entry_seq_counter_;
   // Counter-based stream: the generational id is assigned by the serial
   // spawn/admission machinery, so the key — and with it every draw the
   // vehicle will ever make — is identical across thread counts.
-  veh.rng_key = util::derive_seed(vehicle_stream_seed_, id.value());
-  veh.rng_draws = 0;
+  cold.rng_key = util::derive_seed(vehicle_stream_seed_, id.value());
+  cold.rng_draws = 0;
+  store_.is_patrol[slot] = is_patrol ? 1 : 0;
+  store_.length[slot] = len;
+  store_.desired_speed_factor[slot] = desired_speed_factor;
 
-  alive_pos_[id.slot()] = static_cast<std::uint32_t>(alive_.size());
+  alive_pos_[slot] = static_cast<std::uint32_t>(alive_.size());
   alive_.push_back(id);
   ++total_spawned_;
   if (!is_patrol && !seg.is_gateway()) ++population_inside_;
 
-  insert_into_lane(veh, edge, lane, position);
+  insert_into_lane(id, edge, lane, position);
   push_event(SpawnEvent{now_, id, edge});
   return id;
 }
@@ -227,8 +234,8 @@ VehicleId SimEngine::spawn_at(roadnet::EdgeId edge, int lane, double position,
 bool SimEngine::entry_has_room(roadnet::EdgeId edge, int lane, double len) const {
   const auto& vehicles = lane_vehicles(edge, lane);
   if (vehicles.empty()) return true;
-  const auto& rear = vehicles_[vehicles.front().slot()];
-  return rear.position - rear.length - len >= kMinSeparation + 1.0;
+  const std::uint32_t rear = vehicles.front().slot();
+  return store_.position[rear] - store_.length[rear] - len >= kMinSeparation + 1.0;
 }
 
 int SimEngine::pick_entry_lane(roadnet::EdgeId edge, double len) const {
@@ -240,8 +247,8 @@ int SimEngine::pick_entry_lane(roadnet::EdgeId edge, double len) const {
     const auto& vehicles = lane_vehicles(edge, lane);
     const double space =
         vehicles.empty() ? seg.length
-                         : vehicles_[vehicles.front().slot()].position -
-                               vehicles_[vehicles.front().slot()].length;
+                         : store_.position[vehicles.front().slot()] -
+                               store_.length[vehicles.front().slot()];
     if (space > best_space) {
       best_space = space;
       best = lane;
@@ -269,14 +276,15 @@ void SimEngine::set_watched(VehicleId id, bool watched) {
   }
 }
 
-roadnet::EdgeId SimEngine::ensure_next_edge(Vehicle& veh, roadnet::NodeId node) {
-  roadnet::EdgeId next = veh.route.peek();
+roadnet::EdgeId SimEngine::ensure_next_edge(std::uint32_t slot, roadnet::NodeId node) {
+  VehicleCold& cold = store_.cold[slot];
+  roadnet::EdgeId next = cold.route.peek();
   if (!next.valid()) {
     if (route_planner_) {
-      Route replanned = route_planner_(veh.id, node);
-      if (!replanned.edges.empty()) veh.route = std::move(replanned);
+      Route replanned = route_planner_(cold.id, node);
+      if (!replanned.edges.empty()) cold.route = std::move(replanned);
     }
-    next = veh.route.peek();
+    next = cold.route.peek();
     if (!next.valid()) {
       // Fallback: roam onto a uniformly random out-edge so traffic never
       // stalls even without a planner (unit-test configurations). Drawn
@@ -285,11 +293,11 @@ roadnet::EdgeId SimEngine::ensure_next_edge(Vehicle& veh, roadnet::NodeId node) 
       // generator would make the pick depend on which lane drew first.
       const auto& out = net_.intersection(node).out_edges;
       IVC_ASSERT_MSG(!out.empty(), "dead-end node reached");
-      util::StreamRng stream(veh.rng_key, veh.rng_draws);
-      veh.route.edges = {out[stream.uniform_index(out.size())]};
-      veh.rng_draws = stream.draws();
-      veh.route.next = 0;
-      next = veh.route.peek();
+      util::StreamRng stream(cold.rng_key, cold.rng_draws);
+      cold.route.edges = {out[stream.uniform_index(out.size())]};
+      cold.rng_draws = stream.draws();
+      cold.route.next = 0;
+      next = cold.route.peek();
     }
   }
   IVC_ASSERT_MSG(net_.segment(next).from == node || net_.segment(next).is_inbound_gateway(),
@@ -325,20 +333,28 @@ void SimEngine::run_sharded(util::PerfPhase phase,
     } guard;
     tls_shard_ = &ctx;
     if (timed) {
+      const util::ThreadCpuProbe cpu_probe;
       const auto start = std::chrono::steady_clock::now();
       body(ctx);
       ctx.busy_nanos = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
               .count());
+      ctx.busy_cpu_nanos = cpu_probe.elapsed_nanos();
     } else {
       body(ctx);
     }
   });
   if (timed) {
     std::uint64_t busy = 0;
+    std::uint64_t busy_cpu = 0;
+    // Worker 0 is the calling thread: its busy CPU time is already inside
+    // the phase-level PerfTimer's thread-CPU measurement, so only the
+    // parked workers' time is added here — the collector's cpu total then
+    // counts every nanosecond exactly once.
     for (std::size_t s = 0; s < active; ++s) busy += shards_[s].busy_nanos;
-    perf_->add_parallel(phase, busy);
+    for (std::size_t s = 1; s < active; ++s) busy_cpu += shards_[s].busy_cpu_nanos;
+    perf_->add_parallel(phase, busy, busy_cpu);
   }
 }
 
@@ -388,24 +404,29 @@ void SimEngine::lane_change_pass(std::uint32_t index) {
   const auto& seg = net_.segment(ref.edge);
   if (seg.lanes < 2) return;
   const int lane = ref.lane;
+  // Hot SoA arrays: the sweep below reads only these per vehicle.
+  const double* const pos = store_.position.data();
+  const double* const spd = store_.speed.data();
+  const double* const len = store_.length.data();
+  const IdmParams* const drv = store_.driver.data();
   // Apply with re-validation, front-most first, so a move doesn't
   // invalidate the decision of the vehicle behind it.
   for (std::size_t i = lane_list.size(); i-- > 0;) {
-    Vehicle& veh = vehicles_[lane_list[i].slot()];
-    if (veh.lane_change_cooldown > 0) continue;
-    if (veh.is_patrol) continue;  // patrol keeps its lane: stable marker relay
-    if (veh.position > seg.length - config_.intersection_lookahead) continue;
+    const std::uint32_t slot = lane_list[i].slot();
+    if (store_.lane_change_cooldown[slot] > 0) continue;
+    if (store_.is_patrol[slot] != 0) continue;  // patrol keeps its lane: stable marker relay
+    if (pos[slot] > seg.length - config_.intersection_lookahead) continue;
     // Current leader gap.
     double lead_gap = kInf;
     double lead_speed = kInf;
     if (i + 1 < lane_list.size()) {
-      const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-      lead_gap = leader.position - leader.length - veh.position;
-      lead_speed = leader.speed;
+      const std::uint32_t leader = lane_list[i + 1].slot();
+      lead_gap = pos[leader] - len[leader] - pos[slot];
+      lead_speed = spd[leader];
     }
-    const double desired = veh.desired_speed(seg.speed_limit);
+    const double desired = seg.speed_limit * store_.desired_speed_factor[slot];
     const bool wants_out =
-        lead_gap < veh.speed * veh.driver.headway * 1.5 && lead_speed < 0.85 * desired;
+        lead_gap < spd[slot] * drv[slot].headway * 1.5 && lead_speed < 0.85 * desired;
     if (!wants_out) continue;
 
     int best_lane = -1;
@@ -413,37 +434,38 @@ void SimEngine::lane_change_pass(std::uint32_t index) {
     for (const int target : {lane - 1, lane + 1}) {
       if (target < 0 || target >= seg.lanes) continue;
       const auto& tgt = lane_vehicles(seg.id, target);
-      const auto it = std::lower_bound(tgt.begin(), tgt.end(), veh.position,
-                                       [this](VehicleId id, double pos) {
-                                         return vehicles_[id.slot()].position < pos;
+      const auto it = std::lower_bound(tgt.begin(), tgt.end(), pos[slot],
+                                       [pos](VehicleId vid, double p) {
+                                         return pos[vid.slot()] < p;
                                        });
       double tgt_lead_gap = kInf;
       if (it != tgt.end()) {
-        const Vehicle& tl = vehicles_[it->slot()];
-        tgt_lead_gap = tl.position - tl.length - veh.position;
+        const std::uint32_t tl = it->slot();
+        tgt_lead_gap = pos[tl] - len[tl] - pos[slot];
       }
       double tgt_follow_gap = kInf;
       double follower_speed = 0.0;
       if (it != tgt.begin()) {
-        const Vehicle& tf = vehicles_[(it - 1)->slot()];
-        tgt_follow_gap = veh.position - veh.length - tf.position;
-        follower_speed = tf.speed;
+        const std::uint32_t tf = (it - 1)->slot();
+        tgt_follow_gap = pos[slot] - len[slot] - pos[tf];
+        follower_speed = spd[tf];
       }
-      const bool safe = tgt_lead_gap > veh.driver.min_gap + 1.0 &&
-                        tgt_follow_gap > veh.driver.min_gap + 0.5 * follower_speed;
+      const bool safe = tgt_lead_gap > drv[slot].min_gap + 1.0 &&
+                        tgt_follow_gap > drv[slot].min_gap + 0.5 * follower_speed;
       if (safe && tgt_lead_gap > best_gain * 1.2) {
         best_gain = tgt_lead_gap;
         best_lane = target;
       }
     }
     if (best_lane >= 0) {
-      const double pos = veh.position;
-      remove_from_lane(veh);
-      insert_into_lane(veh, seg.id, best_lane, pos);
+      const VehicleId vid = lane_list[i];
+      const double p = pos[slot];
+      remove_from_lane(vid);
+      insert_into_lane(vid, seg.id, best_lane, p);
       // Keep prev_position so the overtake detector sees the continuing
       // longitudinal trajectory, not a teleport.
-      veh.prev_position = std::min(veh.prev_position, pos);
-      veh.lane_change_cooldown = 10;
+      store_.prev_position[slot] = std::min(store_.prev_position[slot], p);
+      store_.lane_change_cooldown[slot] = 10;
       // `remove_from_lane` erased entry i from `lane_list`; the
       // descending index loop only visits indices below i afterwards,
       // so the erase can neither skip nor revisit a vehicle.
@@ -454,8 +476,8 @@ void SimEngine::lane_change_pass(std::uint32_t index) {
 void SimEngine::prepare_entry_space() {
   // O(occupied lanes): one read of each occupied lane's rearmost vehicle.
   for (const std::uint32_t index : occupied_lanes_) {
-    const Vehicle& rear = vehicles_[lanes_[index].front().slot()];
-    entry_space_[index] = rear.position - rear.length;
+    const std::uint32_t rear = lanes_[index].front().slot();
+    entry_space_[index] = store_.position[rear] - store_.length[rear];
   }
 }
 
@@ -521,24 +543,31 @@ void SimEngine::dynamics_pass(std::uint32_t index) {
   const auto& seg = net_.segment(lane_refs_[index].edge);
   const bool outbound_gateway = seg.is_outbound_gateway();
   auto& lane_list = lanes_[index];
+  // Hot SoA arrays: the integration below streams exactly these. Raw
+  // pointers are safe — nothing on the dynamics path grows the store.
+  double* const pos = store_.position.data();
+  double* const spd = store_.speed.data();
+  const double* const len = store_.length.data();
+  const double* const dsf = store_.desired_speed_factor.data();
+  const IdmParams* const drv = store_.driver.data();
   // Front-to-back so each follower clamps against its leader's *new*
   // position (sequential update; collision-free by construction).
   for (std::size_t i = lane_list.size(); i-- > 0;) {
-    if (i > 0) __builtin_prefetch(&vehicles_[lane_list[i - 1].slot()]);
-    Vehicle& veh = vehicles_[lane_list[i].slot()];
+    if (i > 0) __builtin_prefetch(&pos[lane_list[i - 1].slot()]);
+    const std::uint32_t slot = lane_list[i].slot();
     // Vehicles already past the end are waiting for admission.
-    if (veh.position >= seg.length) {
-      veh.speed = 0.0;
+    if (pos[slot] >= seg.length) {
+      spd[slot] = 0.0;
       continue;
     }
     double gap = kInf;
     double lead_speed = 0.0;
     if (i + 1 < lane_list.size()) {
-      const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
-      gap = std::min(leader.position, seg.length) - leader.length - veh.position;
-      lead_speed = leader.speed;
+      const std::uint32_t leader = lane_list[i + 1].slot();
+      gap = std::min(pos[leader], seg.length) - len[leader] - pos[slot];
+      lead_speed = spd[leader];
     } else if (!outbound_gateway &&
-               veh.position > seg.length - config_.intersection_lookahead) {
+               pos[slot] > seg.length - config_.intersection_lookahead) {
       // Front vehicle near the intersection: check whether the next edge
       // can take it; if not, treat the stop line as a standing obstacle.
       // An empty next edge always has room (the entry pick would return
@@ -546,58 +575,65 @@ void SimEngine::dynamics_pass(std::uint32_t index) {
       // Room is read from the pre-dynamics entry-space snapshot: the next
       // edge's lanes may belong to another shard (or merely come later in
       // the serial scan), and this decision must not depend on either.
-      const roadnet::EdgeId next = ensure_next_edge(veh, seg.to);
-      if (edge_count_[next.value()] != 0 && snapshot_entry_lane(next, veh.length) < 0) {
-        gap = (seg.length - kStopMargin) - veh.position;
+      const roadnet::EdgeId next = ensure_next_edge(slot, seg.to);
+      if (edge_count_[next.value()] != 0 && snapshot_entry_lane(next, len[slot]) < 0) {
+        gap = (seg.length - kStopMargin) - pos[slot];
         lead_speed = 0.0;
       }
     }
-    const double desired = veh.desired_speed(seg.speed_limit);
+    const double desired = seg.speed_limit * dsf[slot];
     const double accel =
-        idm_acceleration(veh.speed, desired, gap, veh.speed - lead_speed, veh.driver);
-    double v = std::clamp(veh.speed + accel * dt, 0.0, desired);
-    double pos = veh.position + v * dt;
+        idm_acceleration(spd[slot], desired, gap, spd[slot] - lead_speed, drv[slot]);
+    double v = std::clamp(spd[slot] + accel * dt, 0.0, desired);
+    double p = pos[slot] + v * dt;
     // Overlap clamp against the (already updated) leader.
     if (i + 1 < lane_list.size()) {
-      const Vehicle& leader = vehicles_[lane_list[i + 1].slot()];
+      const std::uint32_t leader = lane_list[i + 1].slot();
       // The leader may be waiting for admission beyond the segment end;
       // the follower has passed no admission check, so its limit is also
-      // capped at the stop line (mirroring the std::min(leader.position,
+      // capped at the stop line (mirroring the std::min(leader position,
       // seg.length) the IDM gap above uses). Only the lane's front
       // vehicle may cross seg.length and become a transit candidate.
-      const double limit = std::min(leader.position - leader.length - kMinSeparation,
+      const double limit = std::min(pos[leader] - len[leader] - kMinSeparation,
                                     seg.length - kStopMargin);
-      if (pos > limit) {
-        pos = std::max(veh.position, limit);
-        v = (pos - veh.position) / dt;
+      if (p > limit) {
+        p = std::max(pos[slot], limit);
+        v = (p - pos[slot]) / dt;
       }
     } else if (std::isfinite(gap)) {
       // Blocked at the stop line.
       const double limit = seg.length - kStopMargin;
-      if (pos > limit) {
-        pos = std::max(veh.position, limit);
-        v = (pos - veh.position) / dt;
+      if (p > limit) {
+        p = std::max(pos[slot], limit);
+        v = (p - pos[slot]) / dt;
       }
     }
-    veh.position = pos;
-    veh.speed = v;
+    pos[slot] = p;
+    spd[slot] = v;
   }
 }
 
 void SimEngine::overtake_scan(VehicleId wid) {
-  const Vehicle* w = find_vehicle(wid);
-  if (w == nullptr || !w->alive) return;  // stale watch entry
-  const auto& seg = net_.segment(w->edge);
+  const std::uint32_t wslot = wid.slot();
+  if (wslot >= store_.slot_count() || store_.cold[wslot].id != wid ||
+      !store_.cold[wslot].alive) {
+    return;  // stale watch entry
+  }
+  const auto& seg = net_.segment(store_.edge[wslot]);
   if (seg.lanes < 2) return;  // single-lane edges are FIFO by construction
+  const double* const pos = store_.position.data();
+  const double* const prev = store_.prev_position.data();
+  const double w_prev = prev[wslot];
+  const double w_pos = pos[wslot];
   for (int lane = 0; lane < seg.lanes; ++lane) {
-    for (const VehicleId xid : lane_vehicles(w->edge, lane)) {
+    for (const VehicleId xid : lane_vehicles(store_.edge[wslot], lane)) {
       if (xid == wid) continue;
-      const Vehicle& x = vehicles_[xid.slot()];
-      const double before = x.prev_position - w->prev_position;
-      const double after = x.position - w->position;
+      const std::uint32_t xslot = xid.slot();
+      const double before = prev[xslot] - w_prev;
+      const double after = pos[xslot] - w_pos;
       if (before == 0.0 || after == 0.0) continue;
       if ((before < 0.0) != (after < 0.0)) {
-        push_event(OvertakeEvent{now_, w->edge, wid, xid, after > 0.0});
+        push_event(OvertakeEvent{now_, store_.edge[wslot], wid, xid, after > 0.0});
       }
     }
   }
@@ -652,8 +688,8 @@ void SimEngine::process_transits() {
         const std::uint32_t index = scratch_lanes_[i];
         const auto& lane_list = lanes_[index];
         if (lane_list.empty()) continue;
-        const Vehicle& front = vehicles_[lane_list.back().slot()];
-        if (front.position >= net_.segment(lane_refs_[index].edge).length) {
+        if (store_.position[lane_list.back().slot()] >=
+            net_.segment(lane_refs_[index].edge).length) {
           ctx.transit_hits.push_back(index);
         }
       }
@@ -678,16 +714,17 @@ void SimEngine::collect_transit_candidates(std::uint32_t index) {
   const auto& lane_list = lanes_[index];
   if (lane_list.empty()) return;
   const auto& seg = net_.segment(lane_refs_[index].edge);
-  const Vehicle& front = vehicles_[lane_list.back().slot()];
-  if (front.position < seg.length) return;
+  const VehicleId front = lane_list.back();
+  const std::uint32_t slot = front.slot();
+  if (store_.position[slot] < seg.length) return;
   if (seg.is_outbound_gateway()) {
     // Reached the outside world: despawn.
-    despawn(vehicles_[front.id.slot()], seg.id);
+    despawn(slot, seg.id);
     return;
   }
   auto& candidates = node_candidates_[seg.to.value()];
   if (candidates.empty()) active_nodes_.push_back(seg.to);
-  candidates.push_back({front.id, seg.id, front.position - seg.length});
+  candidates.push_back({front, seg.id, store_.position[slot] - seg.length});
 }
 
 void SimEngine::admit_at_node(roadnet::NodeId node_id) {
@@ -716,25 +753,27 @@ void SimEngine::admit_at_node(roadnet::NodeId node_id) {
       continue;
     }
 
-    Vehicle& veh = vehicles_[cand.veh.slot()];
-    const roadnet::EdgeId next = ensure_next_edge(veh, node.id);
+    const std::uint32_t slot = cand.veh.slot();
+    const roadnet::EdgeId next = ensure_next_edge(slot, node.id);
     // Empty next edge: pick_entry_lane would scan all lanes and settle
     // on lane 0; the counter makes that the common sparse case O(1).
-    const int entry_lane =
-        edge_count_[next.value()] == 0 ? 0 : pick_entry_lane(next, veh.length);
+    const int entry_lane = edge_count_[next.value()] == 0
+                               ? 0
+                               : pick_entry_lane(next, store_.length[slot]);
     if (entry_lane < 0) continue;  // no room; wait at the stop line
 
-    const std::uint64_t from_entry_seq = veh.entry_seq;
+    VehicleCold& cold = store_.cold[slot];
+    const std::uint64_t from_entry_seq = cold.entry_seq;
     const bool was_inside = !net_.segment(cand.from_edge).is_gateway();
     const bool now_inside = !net_.segment(next).is_gateway();
-    remove_from_lane(veh);
-    veh.route.advance();
-    insert_into_lane(veh, next, entry_lane, 0.0);
-    veh.entry_seq = ++entry_seq_counter_;
+    remove_from_lane(cand.veh);
+    cold.route.advance();
+    insert_into_lane(cand.veh, next, entry_lane, 0.0);
+    cold.entry_seq = ++entry_seq_counter_;
     ++admitted;
     used_approaches_.push_back(cand.from_edge);
     ++total_transits_;
-    if (!veh.is_patrol && was_inside != now_inside) {
+    if (store_.is_patrol[slot] == 0 && was_inside != now_inside) {
       if (now_inside) {
         ++population_inside_;
       } else {
@@ -742,39 +781,45 @@ void SimEngine::admit_at_node(roadnet::NodeId node_id) {
       }
     }
 
-    push_event(TransitEvent{now_, veh.id, node.id, cand.from_edge, next,
+    push_event(TransitEvent{now_, cand.veh, node.id, cand.from_edge, next,
                             from_entry_seq});
   }
   candidates.clear();
 }
 
-void SimEngine::despawn(Vehicle& veh, roadnet::EdgeId edge) {
-  IVC_ASSERT(veh.alive);
+void SimEngine::despawn(std::uint32_t slot, roadnet::EdgeId edge) {
+  VehicleCold& cold = store_.cold[slot];
+  IVC_ASSERT(cold.alive);
   // Despawns mutate the alive index, watched list and free list — global
   // structures the shards never touch; this must only run serially.
   IVC_ASSERT(tls_shard_ == nullptr);
-  remove_from_lane(veh);
-  veh.alive = false;
-  if (!veh.is_patrol && !net_.segment(veh.edge).is_gateway()) --population_inside_;
+  remove_from_lane(cold.id);
+  cold.alive = false;
+  if (store_.is_patrol[slot] == 0 && !net_.segment(store_.edge[slot]).is_gateway()) {
+    --population_inside_;
+  }
   // Swap-remove from the dense alive index.
-  const std::uint32_t pos = alive_pos_[veh.id.slot()];
+  const std::uint32_t pos = alive_pos_[slot];
   alive_[pos] = alive_.back();
   alive_pos_[alive_[pos].slot()] = pos;
   alive_.pop_back();
-  set_watched(veh.id, false);
+  set_watched(cold.id, false);
   // The slot is recycled only after this step's event flush, so buffered
   // events (and observers handling them) can still resolve the record.
-  pending_free_.push_back(veh.id.slot());
-  push_event(DespawnEvent{now_, veh.id, edge});
+  pending_free_.push_back(slot);
+  push_event(DespawnEvent{now_, cold.id, edge});
 }
 
 void SimEngine::finish_step() {
   {
     util::PerfTimer timer(perf_, util::PerfPhase::StepBookkeeping);
+    double* const pos = store_.position.data();
+    double* const prev = store_.prev_position.data();
+    std::int32_t* const cooldown = store_.lane_change_cooldown.data();
     for (const VehicleId id : alive_) {
-      Vehicle& veh = vehicles_[id.slot()];
-      veh.prev_position = veh.position;
-      if (veh.lane_change_cooldown > 0) --veh.lane_change_cooldown;
+      const std::uint32_t slot = id.slot();
+      prev[slot] = pos[slot];
+      if (cooldown[slot] > 0) --cooldown[slot];
     }
     now_ += util::SimTime::from_seconds(config_.dt);
     ++step_count_;

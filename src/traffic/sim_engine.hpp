@@ -41,6 +41,14 @@
 // segment-major order a full map scan would visit, so event streams are
 // bit-identical to the scan they replaced.
 //
+// Storage: vehicle state is struct-of-arrays (VehicleStore) — one
+// contiguous array per hot field (position, speed, length, IDM params,
+// edge/lane), indexed by the generational id's slot, with route/attrs/RNG
+// bookkeeping in a cold per-slot record. The per-lane sweeps touch only
+// the hot arrays, so a step streams the bytes it integrates instead of
+// striding through fat AoS records; the arithmetic is unchanged, so the
+// layout is invisible in the event stream.
+//
 // Model notes:
 //  * "Simple road model" (paper Sec. III-A): single-lane roads, no lane
 //    changes, one admission per intersection per step -> strictly FIFO
@@ -53,12 +61,14 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "roadnet/road_network.hpp"
 #include "traffic/events.hpp"
 #include "traffic/sharding.hpp"
 #include "traffic/vehicle.hpp"
+#include "traffic/vehicle_store.hpp"
 #include "util/perf.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
@@ -148,14 +158,16 @@ class SimEngine {
   [[nodiscard]] const roadnet::RoadNetwork& network() const { return net_; }
   // Asserts the id is current (slot occupied by that exact generation).
   // A despawned vehicle stays addressable until its slot is recycled.
-  [[nodiscard]] const Vehicle& vehicle(VehicleId id) const;
-  // Generation-checked lookup: nullptr when the id is stale (the slot was
+  [[nodiscard]] VehicleRef vehicle(VehicleId id) const;
+  // Generation-checked lookup: empty when the id is stale (the slot was
   // recycled for a newer vehicle) or out of range.
-  [[nodiscard]] const Vehicle* find_vehicle(VehicleId id) const;
-  // The slot store. Size == peak concurrent vehicles over the run, NOT the
-  // total ever spawned: despawned slots are recycled. Entries with
-  // `alive == false` are despawned vehicles awaiting reuse.
-  [[nodiscard]] const std::vector<Vehicle>& vehicles() const { return vehicles_; }
+  [[nodiscard]] std::optional<VehicleRef> find_vehicle(VehicleId id) const;
+  // The SoA slot store (read-only). slot_count() == peak concurrent
+  // vehicles over the run, NOT the total ever spawned: despawned slots are
+  // recycled. Rows whose cold record has `alive == false` are despawned
+  // vehicles awaiting reuse.
+  [[nodiscard]] const VehicleStore& store() const { return store_; }
+  [[nodiscard]] std::size_t vehicle_slot_count() const { return store_.slot_count(); }
   // Dense list of currently-alive vehicle ids (engine iteration order).
   [[nodiscard]] const std::vector<VehicleId>& alive_vehicles() const { return alive_; }
   [[nodiscard]] std::size_t alive_count() const { return alive_.size(); }
@@ -254,13 +266,13 @@ class SimEngine {
   // entering at position 0.
   [[nodiscard]] bool entry_has_room(roadnet::EdgeId edge, int lane, double len) const;
   [[nodiscard]] int pick_entry_lane(roadnet::EdgeId edge, double len) const;
-  // Next interior/gateway edge the vehicle will take from `node`; replans
-  // via the route planner when exhausted. Returns invalid only if the
-  // vehicle must despawn (should not happen at interior nodes).
-  roadnet::EdgeId ensure_next_edge(Vehicle& veh, roadnet::NodeId node);
+  // Next interior/gateway edge the vehicle in `slot` will take from
+  // `node`; replans via the route planner when exhausted. Returns invalid
+  // only if the vehicle must despawn (should not happen at interior nodes).
+  roadnet::EdgeId ensure_next_edge(std::uint32_t slot, roadnet::NodeId node);
 
-  void remove_from_lane(const Vehicle& veh);
-  void insert_into_lane(Vehicle& veh, roadnet::EdgeId edge, int lane, double position);
+  void remove_from_lane(VehicleId id);
+  void insert_into_lane(VehicleId id, roadnet::EdgeId edge, int lane, double position);
 
   // Occupied-lane worklist bookkeeping (0 <-> >0 transitions only).
   void mark_lane_occupied(std::size_t index);
@@ -268,7 +280,7 @@ class SimEngine {
 
   // Slot allocation: pop the free list (bumping the generation) or grow.
   [[nodiscard]] VehicleId allocate_slot();
-  void despawn(Vehicle& veh, roadnet::EdgeId edge);
+  void despawn(std::uint32_t slot, roadnet::EdgeId edge);
 
   // Per-worker context for one sharded phase execution. Everything a shard
   // produces beyond its own vehicles' state lands here and is merged into
@@ -283,8 +295,12 @@ class SimEngine {
     std::vector<std::pair<std::uint32_t, bool>> occupancy_log;
     // Lanes whose front vehicle crossed the segment end (transit scan).
     std::vector<std::uint32_t> transit_hits;
-    // Busy nanoseconds of this shard's task (perf runs only).
+    // Busy wall / thread-CPU nanoseconds of this shard's task (perf runs
+    // only). Wall time sums over ALL shards (cumulative worker busy time);
+    // CPU time is summed over parked workers only — the caller thread is
+    // worker 0 and its CPU is already inside the phase-level PerfTimer.
     std::uint64_t busy_nanos = 0;
+    std::uint64_t busy_cpu_nanos = 0;
 
     void reset() {
       // The events buffer is normally drained by the merge; clearing it
@@ -295,6 +311,7 @@ class SimEngine {
       occupancy_log.clear();
       transit_hits.clear();
       busy_nanos = 0;
+      busy_cpu_nanos = 0;
     }
   };
 
@@ -328,12 +345,13 @@ class SimEngine {
   std::uint64_t step_count_ = 0;
   std::uint64_t total_transits_ = 0;
 
-  // Slot + generation vehicle store. `vehicles_` is indexed by
-  // VehicleId::slot(); a despawned slot goes to `pending_free_` and is
-  // recycled (generation bumped) only after the step's event flush, so
-  // buffered events never see a reused slot. Size is bounded by the peak
-  // concurrent population, not by the total ever spawned.
-  std::vector<Vehicle> vehicles_;
+  // Slot + generation vehicle store, struct-of-arrays (vehicle_store.hpp):
+  // hot kinematic fields in per-field contiguous arrays indexed by
+  // VehicleId::slot(), cold records alongside. A despawned slot goes to
+  // `pending_free_` and is recycled (generation bumped) only after the
+  // step's event flush, so buffered events never see a reused slot. Size
+  // is bounded by the peak concurrent population, not the total spawned.
+  VehicleStore store_;
   std::vector<std::uint32_t> free_slots_;    // recycled slots, LIFO
   std::vector<std::uint32_t> pending_free_;  // freed this step, recycled post-flush
   std::vector<VehicleId> alive_;             // dense alive index (swap-remove)
@@ -355,7 +373,7 @@ class SimEngine {
   std::vector<std::uint32_t> scratch_lanes_;
   std::size_t peak_occupied_lanes_ = 0;
 
-  // Per-vehicle stream key base (see Vehicle::rng_key).
+  // Per-vehicle stream key base (see VehicleCold::rng_key).
   std::uint64_t vehicle_stream_seed_ = 0;
   // Per-lane entry-room snapshot for the dynamics phase; entries are valid
   // only for lanes occupied when prepare_entry_space() ran (empty lanes

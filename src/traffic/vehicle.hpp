@@ -1,4 +1,4 @@
-// Vehicle state.
+// Vehicle identity, routing, and cold per-slot state.
 //
 // A vehicle is a purely kinematic entity plus exterior attributes; all
 // protocol state (label bit, counted bit, carried reports) lives in the
@@ -8,14 +8,20 @@
 // so storage stays O(peak concurrent vehicles) while a stale id held by
 // the protocol layer stops matching instead of silently aliasing a new
 // vehicle.
+//
+// Kinematic hot state (position, speed, lane, IDM parameters) does NOT
+// live here: it is stored struct-of-arrays in traffic::VehicleStore
+// (vehicle_store.hpp), indexed by the id's slot, so the engine's per-step
+// sweeps stream contiguous arrays instead of striding through fat records.
+// This header keeps only what those sweeps never touch per vehicle: the
+// route, the exterior attributes, and the RNG/entry-order bookkeeping.
 #pragma once
 
-#include <limits>
+#include <cstdint>
 #include <vector>
 
 #include "roadnet/types.hpp"
 #include "traffic/attributes.hpp"
-#include "traffic/idm.hpp"
 #include "util/ids.hpp"
 
 namespace ivc::traffic {
@@ -45,26 +51,15 @@ struct Route {
   }
 };
 
-struct Vehicle {
+// Cold per-slot record: everything the per-step sweeps do not read per
+// vehicle. Touched on the slow paths only — spawn, admission/replanning
+// (front vehicle of a lane), despawn, and protocol/oracle queries.
+struct VehicleCold {
   VehicleId id;
   ExteriorAttributes attrs;
   bool alive = false;
-  bool is_patrol = false;
-
-  // Kinematics.
-  roadnet::EdgeId edge;
-  int lane = 0;
-  double position = 0.0;       // m from edge start (front bumper)
-  double prev_position = 0.0;  // position at the previous step (same edge)
-  double speed = 0.0;          // m/s
-  double desired_speed_factor = 1.0;  // multiplies the edge speed limit
-  double length = 4.5;         // m, from body type
-  IdmParams driver;
 
   Route route;
-
-  // Steps since the last lane change (hysteresis against ping-ponging).
-  int lane_change_cooldown = 0;
 
   // Monotone sequence number assigned each time the vehicle is placed on a
   // new edge (spawn or transit; NOT lane changes). Two vehicles on the same
@@ -80,10 +75,6 @@ struct Vehicle {
   // generational id, both of which are identical across thread counts.
   std::uint64_t rng_key = 0;
   std::uint64_t rng_draws = 0;
-
-  [[nodiscard]] double desired_speed(double edge_limit) const {
-    return edge_limit * desired_speed_factor;
-  }
 };
 
 }  // namespace ivc::traffic

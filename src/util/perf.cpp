@@ -2,9 +2,22 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <sys/utsname.h>
+#include <time.h>
 #endif
 
 namespace ivc::util {
+
+std::uint64_t ThreadCpuProbe::now_nanos() {
+#if (defined(__unix__) || defined(__APPLE__)) && defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
 
 const char* perf_phase_name(PerfPhase phase) {
   switch (phase) {
@@ -24,6 +37,21 @@ std::uint64_t PerfCollector::total_nanos() const {
   std::uint64_t total = 0;
   for (const PerfPhaseStats& stats : phases_) total += stats.nanos;
   return total;
+}
+
+std::string host_uname() {
+#if defined(__unix__) || defined(__APPLE__)
+  utsname u{};
+  if (uname(&u) != 0) return {};
+  std::string s = u.sysname;
+  s += ' ';
+  s += u.release;
+  s += ' ';
+  s += u.machine;
+  return s;
+#else
+  return {};
+#endif
 }
 
 std::size_t peak_rss_bytes() {

@@ -75,9 +75,9 @@ TEST(AssertDeath, StaleVehicleIdAbortsOnCheckedLookup) {
   // ...and on an id that never existed; while the checked lookup returns
   // null for both instead of aliasing the new occupant.
   EXPECT_DEATH((void)world.engine->vehicle(traffic::VehicleId{}), "IVC_ASSERT failed");
-  EXPECT_EQ(world.engine->find_vehicle(world.stale), nullptr);
-  ASSERT_NE(world.engine->find_vehicle(world.current), nullptr);
-  EXPECT_EQ(world.engine->find_vehicle(world.current)->id, world.current);
+  EXPECT_FALSE(world.engine->find_vehicle(world.stale).has_value());
+  ASSERT_TRUE(world.engine->find_vehicle(world.current).has_value());
+  EXPECT_EQ(world.engine->find_vehicle(world.current)->id(), world.current);
 }
 
 }  // namespace

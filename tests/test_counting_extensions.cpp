@@ -28,9 +28,9 @@ TEST(WhiteVan, CountsOnlyMatchingVehicles) {
 
   // Ground truth: count white vans directly.
   std::int64_t vans = 0;
-  for (const auto& veh : world.engine().vehicles()) {
-    if (veh.alive && veh.attrs.color == traffic::Color::White &&
-        veh.attrs.type == traffic::BodyType::Van) {
+  for (const auto& cold : world.engine().store().cold) {
+    if (cold.alive && cold.attrs.color == traffic::Color::White &&
+        cold.attrs.type == traffic::BodyType::Van) {
       ++vans;
     }
   }

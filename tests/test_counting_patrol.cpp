@@ -93,8 +93,8 @@ TEST(Patrol, FleetDeploysEvenlyAlongCycle) {
   // Vehicles sit on distinct edges (spacing 200 m on an 800 m cycle).
   std::set<std::uint32_t> edges;
   for (const auto id : fleet.vehicles()) {
-    EXPECT_TRUE(engine.vehicle(id).is_patrol);
-    edges.insert(engine.vehicle(id).edge.value());
+    EXPECT_TRUE(engine.vehicle(id).is_patrol());
+    edges.insert(engine.vehicle(id).edge().value());
   }
   EXPECT_EQ(edges.size(), 4u);
 }

@@ -77,9 +77,9 @@ TEST(Engine, VehiclesMoveForwardAndRespectSpeedLimit) {
   double last_speed = 0.0;
   for (int i = 0; i < 60; ++i) {
     engine.step();
-    const auto& veh = engine.vehicle(id);
-    EXPECT_LE(veh.speed, 10.0 + 1e-9);
-    last_speed = veh.speed;
+    const auto veh = engine.vehicle(id);
+    EXPECT_LE(veh.speed(), 10.0 + 1e-9);
+    last_speed = veh.speed();
   }
   EXPECT_NEAR(last_speed, 10.0, 0.5);  // reached free-flow speed
 }
@@ -103,9 +103,9 @@ TEST(Engine, SingleLaneFifoPreserved) {
       for (int lane = 0; lane < seg.lanes; ++lane) {
         const auto& lane_list = engine.lane_vehicles(seg.id, lane);
         for (std::size_t i2 = 1; i2 < lane_list.size(); ++i2) {
-          const auto& rear = engine.vehicle(lane_list[i2 - 1]);
-          const auto& front = engine.vehicle(lane_list[i2]);
-          ASSERT_LE(rear.position, front.position);
+          const auto rear = engine.vehicle(lane_list[i2 - 1]);
+          const auto front = engine.vehicle(lane_list[i2]);
+          ASSERT_LE(rear.position(), front.position());
         }
       }
     }
@@ -158,8 +158,10 @@ TEST(Engine, DeterministicGivenSeed) {
     demand.init_population();
     for (int i = 0; i < 400; ++i) engine.step();
     std::vector<std::tuple<std::uint32_t, double, double>> state;
-    for (const auto& veh : engine.vehicles()) {
-      state.emplace_back(veh.edge.value(), veh.position, veh.speed);
+    const VehicleStore& store = engine.store();
+    for (std::uint32_t slot = 0; slot < store.slot_count(); ++slot) {
+      state.emplace_back(store.edge[slot].value(), store.position[slot],
+                         store.speed[slot]);
     }
     return state;
   };
@@ -277,8 +279,8 @@ TEST(Engine, EntrySequenceMonotonePerEdge) {
       const auto& lane = engine.lane_vehicles(seg.id, 0);
       // Within a FIFO lane, position order equals entry order.
       for (std::size_t k = 1; k < lane.size(); ++k) {
-        EXPECT_GT(engine.vehicle(lane[k - 1]).entry_seq,
-                  engine.vehicle(lane[k]).entry_seq);
+        EXPECT_GT(engine.vehicle(lane[k - 1]).entry_seq(),
+                  engine.vehicle(lane[k]).entry_seq());
       }
     }
   }
@@ -367,19 +369,19 @@ TEST(Engine, FollowerBehindStuckLeaderHoldsAtStopLine) {
     // past the stop line; every follower stops behind it.
     const auto& lane = engine.lane_vehicles(ax, 0);
     for (std::size_t k = 0; k + 1 < lane.size(); ++k) {
-      ASSERT_LE(engine.vehicle(lane[k]).position, stop_line + 1e-9)
+      ASSERT_LE(engine.vehicle(lane[k]).position(), stop_line + 1e-9)
           << "follower crossed the stop line at step " << i;
     }
-    const Vehicle& stuck = engine.vehicle(loser);
-    if (stuck.edge == ax && stuck.position >= seg_len) leader_stranded = true;
-    const Vehicle& f = engine.vehicle(follower);
-    if (f.edge == ax) follower_peak = std::max(follower_peak, f.position);
+    const VehicleRef stuck = engine.vehicle(loser);
+    if (stuck.edge() == ax && stuck.position() >= seg_len) leader_stranded = true;
+    const VehicleRef f = engine.vehicle(follower);
+    if (f.edge() == ax) follower_peak = std::max(follower_peak, f.position());
   }
   // Non-vacuity: the loser really waited beyond the end (its overflow makes
   // the naive leader-based limit land past the stop line), and the follower
   // really pressed up against the stop line behind it.
   EXPECT_TRUE(leader_stranded);
-  EXPECT_GT(engine.vehicle(loser).position, seg_len);
+  EXPECT_GT(engine.vehicle(loser).position(), seg_len);
   EXPECT_GT(follower_peak, seg_len - 10.0);
 }
 

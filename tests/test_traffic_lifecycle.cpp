@@ -79,8 +79,8 @@ struct ChurnWorld {
 std::size_t population_inside_scan(const SimEngine& engine) {
   std::size_t n = 0;
   for (const VehicleId id : engine.alive_vehicles()) {
-    const Vehicle& veh = engine.vehicle(id);
-    if (!veh.is_patrol && !engine.network().segment(veh.edge).is_gateway()) ++n;
+    const VehicleRef veh = engine.vehicle(id);
+    if (!veh.is_patrol() && !engine.network().segment(veh.edge()).is_gateway()) ++n;
   }
   return n;
 }
@@ -94,7 +94,7 @@ TEST(Lifecycle, OpenSystemStorageStaysBounded) {
     world.engine.step();
     peak_alive = std::max(peak_alive, world.engine.alive_count());
   }
-  const std::size_t slots = world.engine.vehicles().size();
+  const std::size_t slots = world.engine.vehicle_slot_count();
   const std::uint64_t spawned = world.engine.total_spawned();
 
   // The run must actually churn: many more vehicles than the store holds.
@@ -149,7 +149,7 @@ TEST(Lifecycle, SlotReuseBumpsGenerationAndDetectsStaleIds) {
   ASSERT_EQ(engine.alive_count(), 0u);
   EXPECT_EQ(engine.population_inside(), 0u);
   // The despawned record is still addressable until the slot is reused.
-  EXPECT_FALSE(engine.vehicle(first).alive);
+  EXPECT_FALSE(engine.vehicle(first).alive());
 
   const VehicleId second = engine.spawn_at(ac, 0, 50.0, sedan(), Route{{gout}, 0, false});
   ASSERT_TRUE(second.valid());
@@ -158,9 +158,9 @@ TEST(Lifecycle, SlotReuseBumpsGenerationAndDetectsStaleIds) {
   EXPECT_NE(first, second);
 
   // The stale id no longer resolves; the current one does.
-  EXPECT_EQ(engine.find_vehicle(first), nullptr);
-  ASSERT_NE(engine.find_vehicle(second), nullptr);
-  EXPECT_TRUE(engine.find_vehicle(second)->alive);
+  EXPECT_FALSE(engine.find_vehicle(first).has_value());
+  ASSERT_TRUE(engine.find_vehicle(second).has_value());
+  EXPECT_TRUE(engine.find_vehicle(second)->alive());
 
   // Protocol-side state keyed by the old id does not leak into the new one.
   v2x::ObuRegistry obus;

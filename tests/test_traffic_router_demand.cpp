@@ -112,9 +112,10 @@ TEST(Demand, InitPopulationPlacesRequestedVehicles) {
   EXPECT_EQ(placed, 150u);
   EXPECT_EQ(engine.alive_count(), 150u);
   // No police cars in civilian demand.
-  for (const auto& veh : engine.vehicles()) {
-    EXPECT_FALSE(veh.is_patrol);
-    EXPECT_NE(veh.attrs.type, BodyType::PoliceCar);
+  for (const VehicleId id : engine.alive_vehicles()) {
+    const VehicleRef veh = engine.vehicle(id);
+    EXPECT_FALSE(veh.is_patrol());
+    EXPECT_NE(veh.attrs().type, BodyType::PoliceCar);
   }
 }
 

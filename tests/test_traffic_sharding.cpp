@@ -7,11 +7,15 @@
 // shard buffers are concatenated in shard order.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <tuple>
 #include <vector>
 
+#include "roadnet/builder.hpp"
 #include "traffic/events.hpp"
 #include "traffic/sharding.hpp"
+#include "traffic/sim_engine.hpp"
 
 namespace ivc::traffic {
 namespace {
@@ -187,6 +191,103 @@ TEST(EventBufferSplice, AdversarialShardBoundariesPreserveWorklistOrder) {
           << "shard_count=" << shard_count << " position=" << i;
     }
   }
+}
+
+// ---- shard boundaries against the SoA layout --------------------------------
+//
+// The SoA refactor made every shard read and write slices of the same
+// global arrays (position[], speed[], ...) instead of disjoint Vehicle
+// records, so a shard-boundary bug now corrupts neighbours through plain
+// array indexing rather than through pointers. These cases saturate every
+// lane of a ring (worklist = all lanes, so shard boundaries land exactly
+// on segment edges, the alignment the partitioner guarantees) and require
+// the hot arrays to come out bit-identical for every thread count.
+
+// One-way ring of `segments` edges, `lanes` lanes each, every lane seeded
+// with two vehicles — occupancy is total, the adversarial case where each
+// worker's range abuts another's in the shared arrays.
+struct SaturatedRing {
+  roadnet::RoadNetwork net;
+  std::vector<roadnet::EdgeId> edges;
+
+  explicit SaturatedRing(std::uint32_t segments, int lanes) {
+    roadnet::NetworkBuilder b;
+    roadnet::RoadSpec rs;
+    rs.lanes = lanes;
+    rs.speed_limit = 12.0;
+    std::vector<roadnet::NodeId> nodes;
+    for (std::uint32_t i = 0; i < segments; ++i) {
+      const double angle = 2.0 * 3.14159265358979 * i / segments;
+      nodes.push_back(b.add_intersection({400.0 * std::cos(angle), 400.0 * std::sin(angle)}));
+    }
+    for (std::uint32_t i = 0; i < segments; ++i) {
+      edges.push_back(b.add_one_way(nodes[i], nodes[(i + 1) % segments], rs, 150.0));
+    }
+    net = b.build();
+  }
+
+  [[nodiscard]] Route loop_from(std::uint32_t segment) const {
+    Route r;
+    r.cyclic = true;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      r.edges.push_back(edges[(segment + 1 + i) % edges.size()]);
+    }
+    return r;
+  }
+};
+
+// Full engine run at `threads`; returns the hot-state snapshot of every
+// slot plus the event count — the bit-exactness witness.
+std::tuple<std::vector<double>, std::vector<double>, std::uint64_t> run_saturated(
+    const SaturatedRing& ring, int threads, int steps) {
+  SimConfig config;
+  config.threads = threads;
+  SimEngine engine(ring.net, config);
+  ExteriorAttributes attrs;
+  attrs.type = BodyType::Sedan;
+  for (std::uint32_t s = 0; s < ring.edges.size(); ++s) {
+    const int lanes = ring.net.segment(ring.edges[s]).lanes;
+    for (int lane = 0; lane < lanes; ++lane) {
+      // Mixed desired speeds provoke lane changes and overtakes right at
+      // the stop lines where shard ranges meet.
+      const double fast = 0.7 + 0.05 * ((s + static_cast<std::uint32_t>(lane)) % 8);
+      EXPECT_TRUE(
+          engine.spawn_at(ring.edges[s], lane, 90.0, attrs, ring.loop_from(s), fast).valid());
+      EXPECT_TRUE(
+          engine.spawn_at(ring.edges[s], lane, 30.0, attrs, ring.loop_from(s), 1.2).valid());
+    }
+  }
+  // Watch a spread of vehicles so the sharded overtake scan contributes.
+  const auto& alive = engine.alive_vehicles();
+  for (std::size_t i = 0; i < alive.size(); i += 7) engine.set_watched(alive[i], true);
+  for (int i = 0; i < steps; ++i) engine.step();
+
+  EXPECT_TRUE(engine.store().rows_consistent());
+  return {engine.store().position, engine.store().speed, engine.events_emitted()};
+}
+
+TEST(ShardSoA, HotArraysBitIdenticalAcrossThreadCounts) {
+  // 32 segments x 2 lanes = 64 occupied lanes: enough for 4 shards at the
+  // engine's grain, with boundaries forced onto segment edges mid-ring.
+  const SaturatedRing ring(32, 2);
+  const auto serial = run_saturated(ring, 1, 80);
+  for (const int threads : {2, 3, 4, 8}) {
+    const auto parallel = run_saturated(ring, threads, 80);
+    // Bitwise, not approximately: shards execute the same per-lane bodies
+    // in the same arithmetic order, so any divergence is a boundary bug.
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel)) << "threads=" << threads;
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel)) << "threads=" << threads;
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(parallel)) << "threads=" << threads;
+  }
+}
+
+TEST(ShardSoA, SingleSegmentRingDegeneratesToOneShard) {
+  // 2 segments cannot split across 4 workers without breaking alignment;
+  // the run must still be exact (and exercise the all-in-one-shard path).
+  const SaturatedRing ring(2, 3);
+  const auto serial = run_saturated(ring, 1, 60);
+  const auto parallel = run_saturated(ring, 4, 60);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

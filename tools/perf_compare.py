@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Perf-gate checker for ivc_bench --perf JSON reports (ivc-perf-v2/v3).
+
+Two sub-commands:
+
+  compare  — gate a candidate report against a committed baseline:
+               * absolute gate: serial (threads=1) steps/s per scenario must
+                 not regress beyond --max-regression vs the baseline. Only
+                 applied when the two reports come from comparable hosts
+                 (same nproc, both known) — cross-host wall-clock deltas are
+                 noise, so the gate loudly skips instead of guessing.
+               * scaling gate: within the candidate, steps/s at the highest
+                 thread count must beat threads=1 by --min-scale on every
+                 dense scenario. Loudly skipped when the candidate host
+                 exposes fewer than 2 cores (or does not say): a 1-core
+                 "measurement" of threads=4 records overhead, not speedup,
+                 and must never be allowed to fail — or pass — the gate.
+  trend    — print a scenario x report table of serial steps/s across any
+             number of BENCH_pr*.json files (the nightly trajectory
+             artifact), flagging rows measured on different hosts.
+
+Stdlib only; exit code 0 = pass (including loud skips), 1 = gate failure,
+2 = usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# Scenarios dense enough that the sharded step must win; the sparse pair is
+# deliberately excluded (their per-step work is too small to amortize a
+# fork-join, which is itself a property the serial gate tracks).
+DEFAULT_DENSE = (
+    "manhattan-closed-rush",
+    "manhattan-open-steady",
+    "ring-radial-open-rush",
+    "random-web-closed-steady",
+)
+
+KNOWN_SCHEMAS = ("ivc-perf-v2", "ivc-perf-v3")
+# v1 reports (no `threads` key — implicitly serial, no host block) carry
+# enough for the read-only trend table, but not for gating.
+TREND_SCHEMAS = ("ivc-perf-v1",) + KNOWN_SCHEMAS
+
+
+def fail(msg: str) -> None:
+    print(f"perf_compare: FAIL: {msg}")
+
+
+def skip(msg: str) -> None:
+    # Loud by design: a skipped gate must be impossible to mistake for a
+    # passed one when skimming a CI log.
+    print(f"perf_compare: SKIP (gate NOT evaluated): {msg}")
+
+
+def load_report(path: str, schemas: tuple[str, ...] = KNOWN_SCHEMAS) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"perf_compare: cannot read '{path}': {e}")
+    schema = report.get("schema")
+    if schema not in schemas:
+        raise SystemExit(
+            f"perf_compare: '{path}' has schema {schema!r}, expected one of {schemas}"
+        )
+    return report
+
+
+def host_nproc(report: dict) -> int | None:
+    """Logical cores of the measuring host; None when the report predates
+    the v3 host block or the probe returned 0."""
+    nproc = report.get("host", {}).get("nproc")
+    if isinstance(nproc, int) and nproc > 0:
+        return nproc
+    return None
+
+
+def steps_per_sec(report: dict) -> dict[tuple[str, int], float]:
+    """(scenario name, threads) -> steps/s."""
+    table: dict[tuple[str, int], float] = {}
+    for row in report.get("scenarios", []):
+        key = (row["name"], int(row.get("threads", 1)))
+        if key in table:
+            raise SystemExit(
+                f"perf_compare: duplicate row for {key[0]} threads={key[1]}"
+            )
+        table[key] = float(row["steps_per_sec"])
+    return table
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    base_rows = steps_per_sec(baseline)
+    cand_rows = steps_per_sec(candidate)
+    base_nproc = host_nproc(baseline)
+    cand_nproc = host_nproc(candidate)
+    dense = [s.strip() for s in args.dense.split(",") if s.strip()]
+
+    failures = 0
+    gates_run = 0
+
+    # ---- absolute serial gate ----------------------------------------------
+    comparable = base_nproc is not None and base_nproc == cand_nproc
+    if not comparable:
+        skip(
+            "serial-regression gate: hosts not comparable "
+            f"(baseline nproc={base_nproc}, candidate nproc={cand_nproc}); "
+            "wall-clock deltas across hosts are noise, not regressions"
+        )
+    else:
+        serial = sorted(
+            name for (name, threads) in cand_rows if threads == 1 and (name, 1) in base_rows
+        )
+        if not serial:
+            skip("serial-regression gate: no scenario present at threads=1 in both reports")
+        for name in serial:
+            gates_run += 1
+            base = base_rows[(name, 1)]
+            cand = cand_rows[(name, 1)]
+            floor = base * (1.0 - args.max_regression)
+            verdict = "ok" if cand >= floor else "REGRESSION"
+            print(
+                f"perf_compare: serial {name}: baseline {base:.0f} steps/s, "
+                f"candidate {cand:.0f} steps/s (floor {floor:.0f}) -> {verdict}"
+            )
+            if cand < floor:
+                failures += 1
+                fail(
+                    f"{name} serial throughput regressed "
+                    f"{(1.0 - cand / base) * 100.0:.1f}% (allowed {args.max_regression * 100.0:.1f}%)"
+                )
+
+    # ---- scaling gate ------------------------------------------------------
+    max_threads = max((t for (_, t) in cand_rows), default=1)
+    if cand_nproc is None:
+        skip(
+            "scaling gate: candidate report does not record host nproc "
+            "(pre-v3 schema?); refusing to judge threads>1 rows of an unknown host"
+        )
+    elif cand_nproc < 2:
+        skip(
+            f"scaling gate: candidate host exposes only {cand_nproc} core(s); "
+            f"threads={max_threads} rows measured there record fork-join overhead, "
+            "not parallel speedup — run the gate on a multi-core host"
+        )
+    elif max_threads < 2:
+        skip("scaling gate: candidate report has no threads>1 rows")
+    else:
+        for name in dense:
+            if (name, 1) not in cand_rows or (name, max_threads) not in cand_rows:
+                skip(f"scaling gate: {name} missing at threads=1 or threads={max_threads}")
+                continue
+            gates_run += 1
+            serial = cand_rows[(name, 1)]
+            parallel = cand_rows[(name, max_threads)]
+            scale = parallel / serial if serial > 0 else 0.0
+            verdict = "ok" if scale >= args.min_scale else "NO SPEEDUP"
+            print(
+                f"perf_compare: scaling {name}: threads={max_threads} {parallel:.0f} vs "
+                f"threads=1 {serial:.0f} steps/s = {scale:.2f}x "
+                f"(need >= {args.min_scale:.2f}x) -> {verdict}"
+            )
+            if scale < args.min_scale:
+                failures += 1
+                fail(
+                    f"{name}: threads={max_threads} is only {scale:.2f}x of serial "
+                    f"on a {cand_nproc}-core host"
+                )
+
+    if failures:
+        print(f"perf_compare: {failures} gate failure(s)")
+        return 1
+    print(f"perf_compare: all evaluated gates passed ({gates_run} checks)")
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    reports = []
+    for path in args.reports:
+        report = load_report(path, schemas=TREND_SCHEMAS)
+        reports.append((os.path.basename(path), report, steps_per_sec(report)))
+    if not reports:
+        raise SystemExit("perf_compare: trend needs at least one report")
+
+    scenarios: list[str] = []
+    for _, _, rows in reports:
+        for name, threads in rows:
+            if threads == 1 and name not in scenarios:
+                scenarios.append(name)
+
+    hosts = {label: host_nproc(report) for label, report, _ in reports}
+    if len(set(hosts.values())) > 1:
+        print(
+            "perf_compare: NOTE: reports span different hosts "
+            f"({ {k: v for k, v in hosts.items()} }); columns are not directly comparable"
+        )
+
+    labels = [label for label, _, _ in reports]
+    widths = [max(len("scenario"), *(len(s) for s in scenarios))] + [
+        max(len(label), 12) for label in labels
+    ]
+    header = ["scenario"] + labels
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for name in scenarios:
+        cells = [name.ljust(widths[0])]
+        for (label, _, rows), width in zip(reports, widths[1:]):
+            value = rows.get((name, 1))
+            cells.append((f"{value:.0f}" if value is not None else "-").rjust(width))
+        print("  ".join(cells))
+    print(
+        "perf_compare: serial (threads=1) steps/s per committed report; "
+        "higher is better, read left to right for the trajectory"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="perf_compare.py", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="gate a candidate report against a baseline")
+    compare.add_argument("--baseline", required=True, help="committed baseline JSON")
+    compare.add_argument("--candidate", required=True, help="freshly measured JSON")
+    compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional serial slowdown vs baseline (default 0.20 — "
+        "generous because shared CI runners are noisy)",
+    )
+    compare.add_argument(
+        "--min-scale",
+        type=float,
+        default=1.05,
+        help="required threads=max / threads=1 steps/s ratio on dense scenarios",
+    )
+    compare.add_argument(
+        "--dense",
+        default=",".join(DEFAULT_DENSE),
+        help="comma-separated scenarios the scaling gate applies to",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    trend = sub.add_parser("trend", help="serial steps/s table across reports")
+    trend.add_argument("reports", nargs="+", help="BENCH_pr*.json files, oldest first")
+    trend.set_defaults(func=cmd_trend)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
