@@ -1,6 +1,5 @@
 #include "experiment/scenario.hpp"
 
-#include <chrono>
 #include <memory>
 
 #include "counting/oracle.hpp"
@@ -8,6 +7,7 @@
 #include "roadnet/patrol_planner.hpp"
 #include "traffic/demand.hpp"
 #include "traffic/router.hpp"
+#include "util/perf.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 
@@ -30,7 +30,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 }
 
 RunMetrics run_scenario_with(const ScenarioConfig& config, const RunHooks& hooks) {
-  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t wall_start = util::steady_now_nanos();
   RunMetrics metrics;
 
   // --- build the world -------------------------------------------------------
@@ -166,9 +166,8 @@ RunMetrics run_scenario_with(const ScenarioConfig& config, const RunHooks& hooks
   if (hooks.on_finish) hooks.on_finish(engine, protocol, oracle);
 
   (void)patrol;
-  const auto wall_end = std::chrono::steady_clock::now();
   metrics.wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
+      static_cast<double>(util::steady_now_nanos() - wall_start) * 1e-9;
   return metrics;
 }
 

@@ -334,12 +334,9 @@ void SimEngine::run_sharded(util::PerfPhase phase,
     tls_shard_ = &ctx;
     if (timed) {
       const util::ThreadCpuProbe cpu_probe;
-      const auto start = std::chrono::steady_clock::now();
+      const std::uint64_t start = util::steady_now_nanos();
       body(ctx);
-      ctx.busy_nanos = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count());
+      ctx.busy_nanos = util::steady_now_nanos() - start;
       ctx.busy_cpu_nanos = cpu_probe.elapsed_nanos();
     } else {
       body(ctx);
@@ -685,13 +682,7 @@ void SimEngine::process_transits() {
         &shard_ranges_);
     run_sharded(util::PerfPhase::Transits, [this](ShardContext& ctx) {
       for (std::size_t i = ctx.range.begin; i < ctx.range.end; ++i) {
-        const std::uint32_t index = scratch_lanes_[i];
-        const auto& lane_list = lanes_[index];
-        if (lane_list.empty()) continue;
-        if (store_.position[lane_list.back().slot()] >=
-            net_.segment(lane_refs_[index].edge).length) {
-          ctx.transit_hits.push_back(index);
-        }
+        transit_scan_pass(scratch_lanes_[i], ctx);
       }
     });
     for (std::size_t s = 0; s < shard_ranges_.size(); ++s) {
@@ -708,6 +699,15 @@ void SimEngine::process_transits() {
   std::sort(active_nodes_.begin(), active_nodes_.end());
   for (const roadnet::NodeId node_id : active_nodes_) admit_at_node(node_id);
   active_nodes_.clear();
+}
+
+void SimEngine::transit_scan_pass(std::uint32_t index, ShardContext& ctx) {
+  const auto& lane_list = lanes_[index];
+  if (lane_list.empty()) return;
+  if (store_.position[lane_list.back().slot()] >=
+      net_.segment(lane_refs_[index].edge).length) {
+    ctx.transit_hits.push_back(index);
+  }
 }
 
 void SimEngine::collect_transit_candidates(std::uint32_t index) {

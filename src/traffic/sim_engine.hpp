@@ -69,6 +69,7 @@
 #include "traffic/sharding.hpp"
 #include "traffic/vehicle.hpp"
 #include "traffic/vehicle_store.hpp"
+#include "util/annotations.hpp"
 #include "util/perf.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
@@ -131,18 +132,22 @@ class SimEngine {
 
   // Spawn at an arbitrary position (initial population placement). Fails
   // (returns invalid id) if the spot would violate the jam gap.
-  VehicleId spawn_at(roadnet::EdgeId edge, int lane, double position,
-                     const ExteriorAttributes& attrs, Route route,
-                     double desired_speed_factor = 1.0, bool is_patrol = false);
+  // IVC_SERIAL_ONLY: spawning mutates the alive index, free list and
+  // entry-sequence counter — serial-owned structures no shard may touch.
+  IVC_SERIAL_ONLY VehicleId spawn_at(roadnet::EdgeId edge, int lane, double position,
+                                     const ExteriorAttributes& attrs, Route route,
+                                     double desired_speed_factor = 1.0,
+                                     bool is_patrol = false);
 
   // Spawn at the upstream end of `edge` if there is room.
-  VehicleId try_spawn_at_start(roadnet::EdgeId edge, const ExteriorAttributes& attrs,
-                               Route route, double desired_speed_factor = 1.0,
-                               bool is_patrol = false);
+  IVC_SERIAL_ONLY VehicleId try_spawn_at_start(roadnet::EdgeId edge,
+                                               const ExteriorAttributes& attrs, Route route,
+                                               double desired_speed_factor = 1.0,
+                                               bool is_patrol = false);
 
   // The protocol watches label carriers; the engine reports order flips
   // (overtakes) only for watched vehicles.
-  void set_watched(VehicleId id, bool watched);
+  IVC_SERIAL_ONLY void set_watched(VehicleId id, bool watched);
 
   // ---- simulation -----------------------------------------------------------
 
@@ -215,6 +220,7 @@ class SimEngine {
     roadnet::EdgeId edge;
     int lane;
   };
+  struct ShardContext;  // defined below; shard-pass bodies take it by ref
 
   [[nodiscard]] std::size_t lane_index(roadnet::EdgeId edge, int lane) const;
 
@@ -236,18 +242,29 @@ class SimEngine {
   // and consumes the same RNG draws — as the worklist walk. They are also
   // the exact bodies the parallel shards execute, which is why a sharded
   // run reproduces the serial stream bit for bit.
-  void lane_change_pass(std::uint32_t lane_idx);
-  void dynamics_pass(std::uint32_t lane_idx);
+  //
+  // IVC_SHARD_PASS marks the bodies that run on fork-join workers: rule R3
+  // (tools/ivc_lint) walks their call graph and rejects I/O, logging,
+  // non-stream randomness and calls into IVC_SERIAL_ONLY functions — the
+  // static twin of the `tls_shard_ == nullptr` ownership assertions.
+  IVC_SHARD_PASS void lane_change_pass(std::uint32_t lane_idx);
+  IVC_SHARD_PASS void dynamics_pass(std::uint32_t lane_idx);
   // Appends the lane's front vehicle to its node's candidate list (or
   // despawns it on an outbound gateway); registers the node in
-  // active_nodes_ on first candidate.
-  void collect_transit_candidates(std::uint32_t lane_idx);
+  // active_nodes_ on first candidate. Serial-only: despawns and candidate
+  // registration mutate global structures; the sharded transit path runs
+  // only the read-only transit_scan_pass and replays the hits here.
+  IVC_SERIAL_ONLY void collect_transit_candidates(std::uint32_t lane_idx);
   // Admits this step's candidates at `node` (ordering, admission budget,
   // events) and clears the node's candidate list.
-  void admit_at_node(roadnet::NodeId node);
+  IVC_SERIAL_ONLY void admit_at_node(roadnet::NodeId node);
   // Order-flip scan for one watched vehicle (the per-item body of
   // detect_overtakes).
-  void overtake_scan(VehicleId wid);
+  IVC_SHARD_PASS void overtake_scan(VehicleId wid);
+  // Read-only front-past-the-end filter for one lane: records a transit
+  // hit in the shard context; the hits are replayed serially through
+  // collect_transit_candidates in shard (== lane) order.
+  IVC_SHARD_PASS void transit_scan_pass(std::uint32_t lane_idx, ShardContext& ctx);
 
   // Snapshot of per-lane entry room (rearmost position − length) for every
   // occupied lane, taken at the top of the dynamics phase. dynamics_pass
@@ -271,6 +288,10 @@ class SimEngine {
   // only if the vehicle must despawn (should not happen at interior nodes).
   roadnet::EdgeId ensure_next_edge(std::uint32_t slot, roadnet::NodeId node);
 
+  // Shard-safe by construction: lane lists and edge counters are
+  // shard-owned in every sharded phase that calls these, and the occupancy
+  // worklist transitions they trigger are logged per shard (see
+  // mark_lane_occupied/mark_lane_empty).
   void remove_from_lane(VehicleId id);
   void insert_into_lane(VehicleId id, roadnet::EdgeId edge, int lane, double position);
 
@@ -279,8 +300,8 @@ class SimEngine {
   void mark_lane_empty(std::size_t index);
 
   // Slot allocation: pop the free list (bumping the generation) or grow.
-  [[nodiscard]] VehicleId allocate_slot();
-  void despawn(std::uint32_t slot, roadnet::EdgeId edge);
+  IVC_SERIAL_ONLY [[nodiscard]] VehicleId allocate_slot();
+  IVC_SERIAL_ONLY void despawn(std::uint32_t slot, roadnet::EdgeId edge);
 
   // Per-worker context for one sharded phase execution. Everything a shard
   // produces beyond its own vehicles' state lands here and is merged into

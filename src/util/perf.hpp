@@ -191,6 +191,18 @@ class PerfTimer {
   bool sample_cpu_ = false;
 };
 
+// Monotonic wall-clock read in nanoseconds (steady_clock). This is the
+// sanctioned accessor for code that needs a wall timestamp: rule R1
+// (tools/ivc_lint) bans std::chrono::*_clock::now() outside util/perf so
+// no simulation path can grow a wall-clock dependence — timing must flow
+// through this header, where it is visibly instrumentation.
+[[nodiscard]] inline std::uint64_t steady_now_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Peak resident set size of this process in bytes; 0 when the platform
 // offers no probe.
 [[nodiscard]] std::size_t peak_rss_bytes();

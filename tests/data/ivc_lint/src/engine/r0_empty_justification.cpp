@@ -1,0 +1,16 @@
+// Fixture: R0 must fire — exemption annotations with empty/blank
+// justifications and an IVC_LINT_ALLOW naming a rule that doesn't exist.
+#include <cstdint>
+
+#include "util/annotations.hpp"
+
+namespace ivc::fixture {
+
+std::uint64_t f() {
+  IVC_ORDER_EXEMPT("");            // R0: empty justification
+  IVC_LINT_ALLOW(R1, "   ");       // R0: whitespace-only justification
+  IVC_LINT_ALLOW(R9, "no such rule");  // R0: unknown rule id
+  return 0;
+}
+
+}  // namespace ivc::fixture

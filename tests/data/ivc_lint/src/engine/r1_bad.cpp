@@ -1,0 +1,21 @@
+// Fixture: R1 must fire — ad-hoc randomness and raw clock reads outside
+// the sanctioned util/rng and util/perf homes.
+#include <chrono>
+#include <random>
+
+namespace ivc::fixture {
+
+double jitter_delay() {
+  std::mt19937 gen(std::random_device{}());        // R1: banned RNG engine + seed source
+  return static_cast<double>(gen()) * 1e-9;
+}
+
+long long stamp_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // R1: raw clock
+}
+
+long long stamp_wall() {
+  return static_cast<long long>(time(nullptr));    // R1: C clock read
+}
+
+}  // namespace ivc::fixture

@@ -1,0 +1,23 @@
+// Fixture: clean under R1 — randomness via the repo's stream RNG facade,
+// timing via util::steady_now_nanos(); no raw engines or clocks.
+#include <cstdint>
+
+namespace ivc::util {
+struct StreamRng {
+  explicit StreamRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 0x9E3779B97F4A7C15ull; }
+  std::uint64_t state_;
+};
+std::uint64_t steady_now_nanos();
+}  // namespace ivc::util
+
+namespace ivc::fixture {
+
+double jitter_delay(std::uint64_t seed) {
+  ivc::util::StreamRng rng_stream(seed);
+  return static_cast<double>(rng_stream.next() & 0xFFFF) * 1e-9;
+}
+
+std::uint64_t stamp_now() { return ivc::util::steady_now_nanos(); }
+
+}  // namespace ivc::fixture

@@ -1,0 +1,26 @@
+// Fixture: R2 must fire — event-emitting iteration over unordered
+// containers, both range-for and explicit iterator forms.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ivc::fixture {
+
+class Tally {
+ public:
+  void emit_all() {
+    for (const auto& [id, n] : per_vehicle_) {   // R2: hash-order iteration
+      emit(id, n);
+    }
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // R2: iterator walk
+      emit(*it, 1);
+    }
+  }
+
+ private:
+  void emit(std::uint32_t id, std::uint64_t n);
+  std::unordered_map<std::uint32_t, std::uint64_t> per_vehicle_;
+  std::unordered_set<std::uint32_t> seen_;
+};
+
+}  // namespace ivc::fixture

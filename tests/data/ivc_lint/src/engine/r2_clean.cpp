@@ -1,0 +1,27 @@
+// Fixture: clean under R2 — unordered containers used only for point
+// lookups; iteration happens over an ordered vector.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ivc::fixture {
+
+class Tally {
+ public:
+  void record(std::uint32_t id) {
+    if (per_vehicle_.find(id) == per_vehicle_.end()) order_.push_back(id);
+    ++per_vehicle_[id];
+  }
+  void emit_all() {
+    for (const std::uint32_t id : order_) {  // ordered insertion log: fine
+      emit(id, per_vehicle_.at(id));
+    }
+  }
+
+ private:
+  void emit(std::uint32_t id, std::uint64_t n);
+  std::unordered_map<std::uint32_t, std::uint64_t> per_vehicle_;
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace ivc::fixture

@@ -1,0 +1,25 @@
+// Fixture: clean under R2 via IVC_ORDER_EXEMPT — the reduction below is
+// commutative, so hash order cannot leak into any output.
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/annotations.hpp"
+
+namespace ivc::fixture {
+
+class Tally {
+ public:
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    IVC_ORDER_EXEMPT("commutative sum over all entries; order cannot affect the result");
+    for (const auto& [id, n] : per_vehicle_) {
+      sum += n;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> per_vehicle_;
+};
+
+}  // namespace ivc::fixture

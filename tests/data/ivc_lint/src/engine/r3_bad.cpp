@@ -1,0 +1,43 @@
+// Fixture: R3 must fire — a shard pass that (a) logs/does I/O two call
+// hops down, (b) calls an IVC_SERIAL_ONLY function directly, and
+// (c) touches the engine's shared sequential RNG member.
+#include <cstdint>
+#include <cstdio>
+
+#include "util/annotations.hpp"
+
+namespace ivc::fixture {
+
+struct Ctx {
+  std::uint64_t moved = 0;
+};
+
+class Engine {
+ public:
+  IVC_SHARD_PASS void shard_move_pass(std::uint32_t lane, Ctx& ctx);
+  IVC_SERIAL_ONLY void despawn_slot(std::uint32_t slot);
+
+ private:
+  void advance(std::uint32_t lane);
+  void trace_lane(std::uint32_t lane);
+  std::uint64_t rng_ = 1;
+};
+
+void Engine::trace_lane(std::uint32_t lane) {
+  std::printf("lane %u\n", lane);  // I/O, two hops below the shard pass
+}
+
+void Engine::advance(std::uint32_t lane) {
+  trace_lane(lane);
+}
+
+void Engine::despawn_slot(std::uint32_t slot) { (void)slot; }
+
+void Engine::shard_move_pass(std::uint32_t lane, Ctx& ctx) {
+  advance(lane);                       // R3: reaches printf via advance -> trace_lane
+  despawn_slot(lane);                  // R3: IVC_SERIAL_ONLY call from a shard pass
+  rng_ += lane;                        // R3: shared sequential RNG state
+  ++ctx.moved;
+}
+
+}  // namespace ivc::fixture

@@ -1,0 +1,39 @@
+// Fixture: clean under R3 — the shard pass stays pure compute: counter
+// stream RNG, shard-owned context mutation, no I/O or serial-only calls.
+#include <cstdint>
+
+#include "util/annotations.hpp"
+
+namespace ivc::fixture {
+
+struct Ctx {
+  std::uint64_t moved = 0;
+};
+
+struct StreamRng {
+  explicit StreamRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 0x9E3779B97F4A7C15ull; }
+  std::uint64_t state_;
+};
+
+class Engine {
+ public:
+  IVC_SHARD_PASS void shard_move_pass(std::uint32_t lane, Ctx& ctx);
+  IVC_SERIAL_ONLY void despawn_slot(std::uint32_t slot);
+
+ private:
+  std::uint32_t accel_for(std::uint32_t lane) const;
+};
+
+void Engine::despawn_slot(std::uint32_t slot) { (void)slot; }
+
+std::uint32_t Engine::accel_for(std::uint32_t lane) const {
+  StreamRng stream(lane * 2654435761u);
+  return static_cast<std::uint32_t>(stream.next() & 0x7u);
+}
+
+void Engine::shard_move_pass(std::uint32_t lane, Ctx& ctx) {
+  ctx.moved += accel_for(lane);
+}
+
+}  // namespace ivc::fixture

@@ -1,0 +1,19 @@
+// Fixture: clean under R4 via IVC_LINT_ALLOW — a justified, annotated
+// hot-column read outside src/traffic/ (e.g. a test-only validator).
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace ivc::fixture {
+
+struct VehicleStore {
+  std::vector<double> position;
+};
+
+double checked_probe(const VehicleStore& store, std::uint32_t slot) {
+  IVC_LINT_ALLOW(R4, "read-only consistency probe in the differential harness");
+  return store.position[slot];
+}
+
+}  // namespace ivc::fixture

@@ -1,0 +1,21 @@
+// Fixture: R4 must fire — direct VehicleStore hot-column access from
+// outside src/traffic/ (both indexed element and raw data() pointer).
+#include <cstdint>
+#include <vector>
+
+namespace ivc::fixture {
+
+struct VehicleStore {
+  std::vector<double> position;
+  std::vector<double> speed;
+};
+
+double probe(const VehicleStore& store, std::uint32_t slot) {
+  return store.position[slot];           // R4: hot-array indexing outside traffic/
+}
+
+const double* speed_base(const VehicleStore& store) {
+  return store.speed.data();             // R4: raw pointer into a hot column
+}
+
+}  // namespace ivc::fixture

@@ -1,0 +1,21 @@
+// Fixture: clean under R4 — identical hot-column access patterns are the
+// whole point *inside* src/traffic/, where the SoA layout lives.
+#include <cstdint>
+#include <vector>
+
+namespace ivc::traffic {
+
+struct VehicleStore {
+  std::vector<double> position;
+  std::vector<double> speed;
+};
+
+double probe(const VehicleStore& store, std::uint32_t slot) {
+  return store.position[slot];  // allowed: this file is src/traffic/
+}
+
+const double* speed_base(const VehicleStore& store) {
+  return store.speed.data();    // allowed: this file is src/traffic/
+}
+
+}  // namespace ivc::traffic

@@ -1,0 +1,18 @@
+// Fixture: mt19937 *inside* src/util/rng* is the one sanctioned home for
+// raw engines — R1 must stay quiet on this file.
+#pragma once
+#include <cstdint>
+#include <random>
+
+namespace ivc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  std::uint64_t next() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;  // allowed: this is util/rng
+};
+
+}  // namespace ivc::util

@@ -281,6 +281,60 @@ TEST(ShardSoA, HotArraysBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// ---- shard ownership assertions ---------------------------------------------
+//
+// Two nets catch a serial-only call escaping into a sharded phase:
+//
+//  * static — ivc_lint rule R3 walks the direct call graph from every
+//    IVC_SHARD_PASS body and rejects reachable IVC_SERIAL_ONLY calls at
+//    lint time. It cannot see through virtual dispatch, std::function
+//    callbacks (the route planner), or code outside src/.
+//  * dynamic — the IVC_ASSERT(tls_shard_ == nullptr) ownership checks in
+//    the serial-only mutators, which trip at runtime no matter how the
+//    call arrived. IVC_ASSERT stays enabled in Release, so this net is
+//    live in every build type.
+//
+// This death test pins the dynamic net: a subclass (exactly the kind of
+// code R3 never sees) installs a worker's shard context the way
+// run_sharded does, then makes the forbidden despawn call. No pool
+// threads are involved — the context is installed directly on this
+// thread — so the EXPECT_DEATH fork stays single-threaded and safe.
+class ShardOwnershipProbeEngine final : public SimEngine {
+ public:
+  using SimEngine::SimEngine;
+
+  void despawn_from_inside_shard(VehicleId id) {
+    ShardContext ctx;
+    tls_shard_ = &ctx;  // what run_sharded does around each worker's body
+    despawn(id.slot(), vehicle(id).edge());
+    tls_shard_ = nullptr;  // not reached; restored for form
+  }
+
+  void despawn_serially(VehicleId id) { despawn(id.slot(), vehicle(id).edge()); }
+};
+
+TEST(ShardOwnership, SerialOnlyDespawnInsideShardContextAborts) {
+  const SaturatedRing ring(2, 1);
+  SimConfig config;
+  config.threads = 1;  // no fork-join team: keep the parent fork-safe
+  ShardOwnershipProbeEngine engine(ring.net, config);
+  ExteriorAttributes attrs;
+  attrs.type = BodyType::Sedan;
+  const VehicleId id =
+      engine.spawn_at(ring.edges[0], 0, 40.0, attrs, ring.loop_from(0), 1.0);
+  ASSERT_TRUE(id.valid());
+  // The same call is legal on the serial path (proves the probe fails for
+  // the ownership reason, not because the despawn itself is malformed)...
+  ShardOwnershipProbeEngine serial_engine(ring.net, config);
+  const VehicleId serial_id =
+      serial_engine.spawn_at(ring.edges[0], 0, 40.0, attrs, ring.loop_from(0), 1.0);
+  ASSERT_TRUE(serial_id.valid());
+  serial_engine.despawn_serially(serial_id);
+  EXPECT_EQ(serial_engine.alive_vehicles().size(), 0u);
+  // ...and aborts with the ownership assertion inside a shard context.
+  EXPECT_DEATH(engine.despawn_from_inside_shard(id), "tls_shard_ == nullptr");
+}
+
 TEST(ShardSoA, SingleSegmentRingDegeneratesToOneShard) {
   // 2 segments cannot split across 4 workers without breaking alignment;
   // the run must still be exact (and exercise the all-in-one-shard path).

@@ -1,0 +1,180 @@
+"""Optional libclang refinement for ivc_lint.
+
+When the clang python bindings are importable (Debian/Ubuntu:
+`apt install python3-clang`), this module re-derives the facts the token
+scanner guessed — function definition extents, call edges, and the
+IVC_SHARD_PASS / IVC_SERIAL_ONLY markers (read from their
+[[clang::annotate("ivc::shard_pass")]] / "ivc::serial_only" spellings) —
+from real ASTs parsed with the flags in compile_commands.json.
+
+The refinement is strictly best-effort: any failure (missing bindings,
+unparseable TU, libclang/library version skew) leaves the affected file
+on its token-mode facts. Rules R1/R2/R4 are token-pattern rules and are
+unaffected either way; refinement mainly tightens R3's call graph.
+
+Import errors propagate to the caller (ivc_lint.py decides whether
+that's fatal based on --mode); per-file errors are swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import clang.cindex as ci
+
+from cpp_scan import FileModel, Function, CONTROL_KEYWORDS
+
+ANNOT_SHARD = "ivc::shard_pass"
+ANNOT_SERIAL = "ivc::serial_only"
+
+
+def _load_compile_args(compile_db: str | None) -> dict[str, list[str]]:
+    """file -> clang args, with the compiler/output/input args stripped."""
+    args_by_file: dict[str, list[str]] = {}
+    if not compile_db or not os.path.isfile(compile_db):
+        return args_by_file
+    with open(compile_db, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    for e in entries:
+        directory = e.get("directory", "")
+        path = os.path.normpath(os.path.join(directory, e["file"]))
+        raw = e.get("arguments")
+        if raw is None:
+            raw = e.get("command", "").split()
+        args: list[str] = []
+        skip_next = False
+        for i, a in enumerate(raw):
+            if skip_next:
+                skip_next = False
+                continue
+            if i == 0:  # the compiler executable
+                continue
+            if a in ("-o", "-c"):
+                skip_next = a == "-o"
+                continue
+            if os.path.normpath(os.path.join(directory, a)) == path:
+                continue
+            args.append(a)
+        args_by_file[path] = args
+    return args_by_file
+
+
+def _collect_tu_facts(tu, src_root: str):
+    """Walk one TU; return per-file {name: (start_line, end_line, calls)}
+    plus marker name sets, restricted to files under src_root."""
+    functions: dict[str, dict[str, tuple[int, int, set[str]]]] = {}
+    shard: set[str] = set()
+    serial: set[str] = set()
+
+    def file_of(cursor) -> str | None:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        path = os.path.normpath(loc.file.name)
+        return path if path.startswith(src_root + os.sep) else None
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            kind = child.kind
+            if kind in (ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                        ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+                        ci.CursorKind.FUNCTION_TEMPLATE):
+                for attr in child.get_children():
+                    if attr.kind == ci.CursorKind.ANNOTATE_ATTR:
+                        if attr.spelling == ANNOT_SHARD:
+                            shard.add(child.spelling)
+                        elif attr.spelling == ANNOT_SERIAL:
+                            serial.add(child.spelling)
+                path = file_of(child)
+                if path is not None and child.is_definition():
+                    calls: set[str] = set()
+                    _collect_calls(child, calls)
+                    ext = child.extent
+                    functions.setdefault(path, {})[child.spelling] = (
+                        ext.start.line, ext.end.line, calls)
+            if kind in (ci.CursorKind.NAMESPACE, ci.CursorKind.CLASS_DECL,
+                        ci.CursorKind.STRUCT_DECL, ci.CursorKind.TRANSLATION_UNIT,
+                        ci.CursorKind.UNEXPOSED_DECL, ci.CursorKind.LINKAGE_SPEC):
+                visit(child)
+
+    def _collect_calls(cursor, calls: set[str]):
+        for child in cursor.get_children():
+            if child.kind == ci.CursorKind.CALL_EXPR and child.spelling:
+                calls.add(child.spelling)
+            _collect_calls(child, calls)
+
+    visit(tu.cursor)
+    return functions, shard, serial
+
+
+def refine(models: list[FileModel], compile_db: str | None, root: str) -> int:
+    """Refine token-mode models in place; returns number of files refined."""
+    index = ci.Index.create()  # raises if libclang.so can't be located
+    args_by_file = _load_compile_args(compile_db)
+    src_root = os.path.normpath(os.path.join(root, "src"))
+    by_abs = {os.path.normpath(os.path.join(root, m.path)): m for m in models}
+
+    facts: dict[str, dict[str, tuple[int, int, set[str]]]] = {}
+    shard_all: set[str] = set()
+    serial_all: set[str] = set()
+    parsed = 0
+    for path in sorted(by_abs):
+        if not path.endswith(".cpp"):
+            continue  # headers are covered through including TUs
+        try:
+            tu = index.parse(path, args=args_by_file.get(path, ["-std=c++20"]))
+            fatal = any(d.severity >= ci.Diagnostic.Fatal for d in tu.diagnostics)
+            if fatal:
+                continue
+            fns, shard, serial = _collect_tu_facts(tu, src_root)
+            shard_all |= shard
+            serial_all |= serial
+            for fpath, table in fns.items():
+                facts.setdefault(fpath, {}).update(table)
+            parsed += 1
+        except Exception:  # noqa: BLE001 — this TU keeps its token facts
+            continue
+
+    refined = 0
+    for path, model in by_abs.items():
+        table = facts.get(path)
+        if not table:
+            continue
+        # Rebuild the function list from AST extents, re-deriving the token
+        # facts (idents for sink scans) from the token stream within those
+        # extents; union AST call edges with token-level ones (macros expand
+        # to calls the AST sees but tokens don't, and vice versa).
+        line_index: dict[int, list[int]] = {}
+        for k, tok in enumerate(model.tokens):
+            line_index.setdefault(tok.line, []).append(k)
+        new_functions: list[Function] = []
+        for name, (start_line, end_line, ast_calls) in sorted(table.items(),
+                                                              key=lambda kv: kv[1][0]):
+            tok_indices = [k for ln in range(start_line, end_line + 1)
+                           for k in line_index.get(ln, ())]
+            if not tok_indices:
+                continue
+            body_start, body_end = min(tok_indices), max(tok_indices) + 1
+            fn = Function(name=name, line=start_line,
+                          body_start=body_start, body_end=body_end)
+            fn.calls |= {c for c in ast_calls if c not in CONTROL_KEYWORDS}
+            for k in range(body_start, min(body_end, len(model.tokens))):
+                t = model.tokens[k]
+                if t.kind == "id" and t.value not in CONTROL_KEYWORDS:
+                    fn.idents.add(t.value)
+                    if k + 1 < len(model.tokens) and model.tokens[k + 1].value == "(":
+                        fn.calls.add(t.value)
+            new_functions.append(fn)
+        if new_functions:
+            model.functions = new_functions
+            refined += 1
+    if shard_all or serial_all:
+        # Markers live on declarations; broadcast the union so the call-graph
+        # pass sees them regardless of which model carries the declaration.
+        for model in models:
+            model.shard_pass |= shard_all
+            model.serial_only |= serial_all
+    if parsed == 0:
+        raise RuntimeError("libclang importable but no translation unit parsed")
+    return refined
