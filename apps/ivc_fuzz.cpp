@@ -15,6 +15,8 @@
 //   ivc_fuzz --repro-out repros.txt         # minimal repro seeds -> file
 //   ivc_fuzz --cases 120 --threads 4        # force the fast engine to 4 workers
 //   ivc_fuzz --cases 120 --parallel-diff    # fast@threads vs fast@serial (no kernel)
+//   ivc_fuzz --cases 120 --snapshot-at -1   # save/restore roundtrip at a derived step
+//   ivc_fuzz --replay SEED --snapshot-at 50 # roundtrip one case, cut at step 50
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
   std::int64_t seed = 1;
   std::int64_t max_failures = 5;
   std::int64_t threads = -1;
+  std::int64_t snapshot_at = 0;
   std::string replay;
   std::string scenario;
   std::string repro_out;
@@ -89,6 +92,10 @@ int main(int argc, char** argv) {
   cli.add_int("threads", &threads,
               "force the fast engine's worker count (0 = all cores; default: the "
               "thread count each case derives from its seed)");
+  cli.add_int("snapshot-at", &snapshot_at,
+              "snapshot-roundtrip mode: save at this step, restore into a fresh "
+              "engine, diff against the uninterrupted run (-1 = derive the cut "
+              "step from each case seed; 0 = mode off)");
   cli.add_string("replay", &replay, "replay one case seed (0x-hex or decimal) and exit");
   cli.add_string("scenario", &scenario, "diff-check a named registry scenario (smoke scale)");
   cli.add_flag("all-scenarios", &all_scenarios, "diff-check every registry scenario");
@@ -103,6 +110,9 @@ int main(int argc, char** argv) {
   // Parallel-vs-serial mode needs a concrete count for the threaded side.
   const int parallel_threads = threads >= 0 ? fast_threads : 0;
   const auto diff_one = [&](std::uint64_t case_seed) {
+    if (snapshot_at != 0) {
+      return testing::diff_case_snapshot(case_seed, snapshot_at, {}, fast_threads);
+    }
     return parallel_diff ? testing::diff_case_threads(case_seed, parallel_threads)
                          : testing::diff_case(case_seed, {}, fast_threads);
   };
@@ -149,9 +159,10 @@ int main(int argc, char** argv) {
   if (!scenario.empty() || all_scenarios) {
     int failures = 0;
     const auto check = [&](const std::string& name) {
-      const auto diff = parallel_diff
-                            ? testing::diff_named_scenario_threads(name, parallel_threads)
-                            : testing::diff_named_scenario(name);
+      const auto diff =
+          snapshot_at != 0 ? testing::diff_named_scenario_snapshot(name, snapshot_at)
+          : parallel_diff  ? testing::diff_named_scenario_threads(name, parallel_threads)
+                           : testing::diff_named_scenario(name);
       if (!diff) {
         std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
         ++failures;
@@ -185,10 +196,10 @@ int main(int argc, char** argv) {
     ++ran;
     if (diff.match) {
       if (verbose) std::printf("ok   %s\n", diff.summary.c_str());
-    } else if (parallel_diff) {
-      // No kernel in this mode; the failing seed itself is the repro
+    } else if (parallel_diff || snapshot_at != 0) {
+      // No kernel in these modes; the failing seed itself is the repro
       // (shrinking against the serial reference could lose a
-      // thread-count-sensitive divergence).
+      // thread-count- or cut-point-sensitive divergence).
       print_failure(diff);
       record_repro(case_seed, diff.summary);
       if (++failures >= max_failures) {

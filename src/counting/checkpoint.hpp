@@ -18,6 +18,10 @@
 #include "roadnet/road_network.hpp"
 #include "util/sim_time.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::counting {
 
 // Lifecycle of one inbound counting direction.
@@ -129,6 +133,10 @@ class Checkpoint {
   [[nodiscard]] std::vector<roadnet::NodeId> children() const;
 
  private:
+  // Snapshot serialization of the mutable state machine fields; the
+  // structural direction vectors are rebuilt from the network instead.
+  friend struct serve::SnapshotAccess;
+
   void start_counting_all_except(roadnet::EdgeId excluded, util::SimTime now);
 
   roadnet::NodeId node_;

@@ -24,6 +24,10 @@
 #include "traffic/sim_engine.hpp"
 #include "util/sim_time.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::counting {
 
 struct Verdict {
@@ -61,6 +65,8 @@ class Oracle {
   [[nodiscard]] std::uint64_t double_counted_vehicles() const;
 
  private:
+  friend struct serve::SnapshotAccess;
+
   const traffic::SimEngine& engine_;
   surveillance::Recognizer recognizer_;
   // Keyed by the packed (slot, generation) id value: vehicle slots are

@@ -16,6 +16,10 @@
 #include "roadnet/patrol_planner.hpp"
 #include "traffic/sim_engine.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::counting {
 
 class PatrolFleet {
@@ -30,6 +34,8 @@ class PatrolFleet {
   [[nodiscard]] const roadnet::PatrolRoute& route() const { return route_; }
 
  private:
+  friend struct serve::SnapshotAccess;
+
   traffic::SimEngine& engine_;
   roadnet::PatrolRoute route_;
   std::vector<traffic::VehicleId> vehicles_;

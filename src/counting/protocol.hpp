@@ -40,6 +40,10 @@
 #include "v2x/channel.hpp"
 #include "v2x/obu.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::counting {
 
 struct ProtocolStats {
@@ -108,6 +112,9 @@ class CountingProtocol final : public traffic::SimObserver {
   [[nodiscard]] std::string debug_collection_state() const;
 
  private:
+  // Field-by-field snapshot serialization (src/serve/snapshot.cpp).
+  friend struct serve::SnapshotAccess;
+
   struct StampedMessage {
     v2x::Message msg;
     util::SimTime since;

@@ -1,14 +1,6 @@
 #include "experiment/scenario.hpp"
 
-#include <memory>
-
-#include "counting/oracle.hpp"
-#include "counting/patrol.hpp"
-#include "roadnet/patrol_planner.hpp"
-#include "traffic/demand.hpp"
-#include "traffic/router.hpp"
-#include "util/perf.hpp"
-#include "util/stats.hpp"
+#include "serve/world.hpp"
 #include "util/string_util.hpp"
 
 namespace ivc::experiment {
@@ -29,146 +21,13 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   return run_scenario_with(config, RunHooks{});
 }
 
+// The batch runner is a thin loop over the serving layer's stateful world:
+// build, step to convergence (or the time limit), extract metrics. Batch
+// runs and served/snapshotted runs therefore execute the identical wiring.
 RunMetrics run_scenario_with(const ScenarioConfig& config, const RunHooks& hooks) {
-  const std::uint64_t wall_start = util::steady_now_nanos();
-  RunMetrics metrics;
-
-  // --- build the world -------------------------------------------------------
-  const int stride = config.mode == SystemMode::Open ? config.gateway_stride : 0;
-  roadnet::RoadNetwork net;
-  if (config.map_factory) {
-    net = config.map_factory(stride);
-  } else {
-    roadnet::ManhattanConfig map = config.map;
-    map.gateway_stride = stride;
-    net = roadnet::make_manhattan_grid(map);
-  }
-
-  traffic::SimConfig sim = config.sim;
-  sim.seed = util::derive_seed(config.seed, "engine");
-  const std::unique_ptr<traffic::SimEngine> engine_storage =
-      hooks.make_engine ? hooks.make_engine(net, sim)
-                        : std::make_unique<traffic::SimEngine>(net, sim);
-  traffic::SimEngine& engine = *engine_storage;
-  engine.set_perf(config.perf);
-
-  traffic::Router router(net, util::derive_seed(config.seed, "router"));
-
-  traffic::DemandConfig demand_config;
-  demand_config.volume_pct = config.volume_pct;
-  demand_config.vehicles_at_100pct = config.vehicles_at_100pct;
-  demand_config.arrival_rate_at_100pct = config.arrival_rate_at_100pct;
-  demand_config.seed = util::derive_seed(config.seed, "demand");
-  traffic::DemandModel demand(engine, router, demand_config);
-  if (hooks.filter_continuation) {
-    engine.set_route_planner(
-        [&demand, &hooks](traffic::VehicleId veh, roadnet::NodeId node) {
-          return hooks.filter_continuation(veh, node, demand.plan_continuation(veh, node));
-        });
-  } else {
-    engine.set_route_planner([&demand](traffic::VehicleId veh, roadnet::NodeId node) {
-      return demand.plan_continuation(veh, node);
-    });
-  }
-
-  counting::ProtocolConfig protocol_config = config.protocol;
-  protocol_config.seed = util::derive_seed(config.seed, "protocol");
-  counting::CountingProtocol protocol(engine, protocol_config);
-  counting::Oracle oracle(engine, surveillance::Recognizer(protocol_config.target));
-  protocol.set_oracle(&oracle);
-  for (traffic::SimObserver* obs : hooks.observers) engine.add_observer(obs);
-
-  counting::PatrolFleet* patrol = nullptr;
-  std::unique_ptr<counting::PatrolFleet> patrol_storage;
-  if (config.num_patrol > 0) {
-    auto route = roadnet::plan_patrol_route(net, roadnet::NodeId{0});
-    patrol_storage = std::make_unique<counting::PatrolFleet>(engine, std::move(route));
-    patrol = patrol_storage.get();
-    patrol->deploy(config.num_patrol);
-  }
-
-  metrics.population = demand.init_population();
-  metrics.checkpoints = net.num_intersections();
-
-  protocol.designate_seeds(protocol.choose_random_seeds(
-      static_cast<std::size_t>(config.num_seeds)));
-  protocol.start();
-
-  // --- run to convergence ------------------------------------------------------
-  const util::SimTime limit = util::SimTime::from_minutes(config.time_limit_minutes);
-  const bool want_collection = protocol_config.collection;
-  bool saw_all_active = false;
-  // Check convergence every ~5 simulated seconds to keep the hot loop tight.
-  const std::uint64_t check_every = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(5.0 / config.sim.dt));
-
-  while (engine.now() < limit) {
-    {
-      util::PerfTimer timer(config.perf, util::PerfPhase::Demand);
-      demand.update();
-    }
-    engine.step();
-    if (engine.step_count() % check_every != 0) continue;
-    if (!saw_all_active && protocol.all_active()) {
-      saw_all_active = true;
-      metrics.time_all_active_min = engine.now().minutes();
-    }
-    const bool stable = protocol.all_stable();
-    const bool collected = !want_collection || protocol.collection_complete();
-    if (stable && collected && protocol.quiescent()) break;
-  }
-
-  // --- extract results -----------------------------------------------------------
-  metrics.constitution_converged = protocol.all_stable();
-  metrics.collection_converged = want_collection && protocol.collection_complete();
-  metrics.quiescent = protocol.quiescent();
-  if (want_collection && !metrics.collection_converged) {
-    metrics.collection_debug = protocol.debug_collection_state();
-  }
-  metrics.sim_minutes = engine.now().minutes();
-
-  util::RunningStats constitution;
-  for (const auto& cp : protocol.checkpoints()) {
-    if (cp.is_stable()) constitution.add(cp.stable_time().minutes());
-  }
-  if (!constitution.empty()) {
-    metrics.constitution_max_min = constitution.max();
-    metrics.constitution_min_min = constitution.min();
-    metrics.constitution_avg_min = constitution.mean();
-  }
-
-  if (metrics.collection_converged) {
-    util::RunningStats collection;
-    for (const roadnet::NodeId seed : protocol.seeds()) {
-      collection.add(protocol.checkpoint(seed).report_time().minutes());
-    }
-    metrics.collection_max_min = collection.max();
-    metrics.collection_min_min = collection.min();
-    metrics.collection_avg_min = collection.mean();
-    metrics.collected_total = protocol.collected_total();
-  }
-
-  metrics.protocol_total = protocol.live_total();
-  metrics.truth = oracle.true_population();
-  metrics.total_exact = oracle.verify_total(metrics.protocol_total).ok;
-  metrics.exactly_once = oracle.verify_exactly_once().ok;
-  metrics.double_counted = oracle.double_counted_vehicles();
-  metrics.protocol_stats = protocol.stats();
-  metrics.channel_failures = protocol.channel().failures();
-  metrics.steps = engine.step_count();
-  metrics.sim_events = engine.events_emitted();
-  metrics.transits = engine.total_transits();
-  metrics.total_spawned = engine.total_spawned();
-  metrics.peak_vehicle_slots = engine.vehicle_slot_count();
-  metrics.total_lanes = engine.total_lanes();
-  metrics.peak_occupied_lanes = engine.peak_occupied_lanes();
-
-  if (hooks.on_finish) hooks.on_finish(engine, protocol, oracle);
-
-  (void)patrol;
-  metrics.wall_seconds =
-      static_cast<double>(util::steady_now_nanos() - wall_start) * 1e-9;
-  return metrics;
+  serve::SimWorld world(config, hooks);
+  while (!world.done()) world.step();
+  return world.finish();
 }
 
 }  // namespace ivc::experiment

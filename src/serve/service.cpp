@@ -1,0 +1,103 @@
+#include "serve/service.hpp"
+
+namespace ivc::serve {
+
+void PublishedCounts::init(std::size_t checkpoint_count) {
+  cells_ = std::make_unique<Cell[]>(checkpoint_count);
+  cell_count_ = checkpoint_count;
+}
+
+void PublishedCounts::publish(const ServiceView& view) {
+  const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+  seq_.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  step_.store(view.step, std::memory_order_relaxed);
+  now_millis_.store(view.now_millis, std::memory_order_relaxed);
+  live_total_.store(view.live_total, std::memory_order_relaxed);
+  truth_.store(view.truth, std::memory_order_relaxed);
+  all_stable_.store(view.all_stable ? 1 : 0, std::memory_order_relaxed);
+  quiescent_.store(view.quiescent ? 1 : 0, std::memory_order_relaxed);
+  finished_.store(view.finished ? 1 : 0, std::memory_order_relaxed);
+  const std::size_t n = view.checkpoints.size() < cell_count_ ? view.checkpoints.size()
+                                                              : cell_count_;
+  for (std::size_t i = 0; i < n; ++i) {
+    cells_[i].local_total.store(view.checkpoints[i].local_total, std::memory_order_relaxed);
+    cells_[i].active.store(view.checkpoints[i].active ? 1 : 0, std::memory_order_relaxed);
+    cells_[i].stable.store(view.checkpoints[i].stable ? 1 : 0, std::memory_order_relaxed);
+  }
+
+  seq_.store(s + 2, std::memory_order_release);
+}
+
+ServiceView PublishedCounts::read() const {
+  ServiceView view;
+  view.checkpoints.resize(cell_count_);
+  for (;;) {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 & 1u) continue;  // writer mid-publish; spin
+
+    view.step = step_.load(std::memory_order_relaxed);
+    view.now_millis = now_millis_.load(std::memory_order_relaxed);
+    view.live_total = live_total_.load(std::memory_order_relaxed);
+    view.truth = truth_.load(std::memory_order_relaxed);
+    view.all_stable = all_stable_.load(std::memory_order_relaxed) != 0;
+    view.quiescent = quiescent_.load(std::memory_order_relaxed) != 0;
+    view.finished = finished_.load(std::memory_order_relaxed) != 0;
+    for (std::size_t i = 0; i < cell_count_; ++i) {
+      view.checkpoints[i].local_total = cells_[i].local_total.load(std::memory_order_relaxed);
+      view.checkpoints[i].active = cells_[i].active.load(std::memory_order_relaxed) != 0;
+      view.checkpoints[i].stable = cells_[i].stable.load(std::memory_order_relaxed) != 0;
+    }
+
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == s1) return view;
+  }
+}
+
+CountingService::CountingService(const experiment::ScenarioConfig& config)
+    : world_(config) {
+  counts_.init(world_.protocol().checkpoints().size());
+}
+
+CountingService::~CountingService() { stop(); }
+
+void CountingService::start() {
+  if (started_) return;
+  started_ = true;
+  stepper_ = std::thread([this] { run(); });
+}
+
+void CountingService::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (stepper_.joinable()) stepper_.join();
+}
+
+void CountingService::run() {
+  const auto snapshot_view = [this](bool done) {
+    ServiceView view;
+    view.step = world_.engine().step_count();
+    view.now_millis = world_.engine().now().millis();
+    view.live_total = world_.protocol().live_total();
+    view.truth = world_.oracle().true_population();
+    view.all_stable = world_.protocol().all_stable();
+    view.quiescent = world_.protocol().quiescent();
+    view.finished = done;
+    const auto& checkpoints = world_.protocol().checkpoints();
+    view.checkpoints.reserve(checkpoints.size());
+    for (const auto& cp : checkpoints) {
+      view.checkpoints.push_back(
+          CheckpointCounts{cp.local_total(), cp.is_active(), cp.is_stable()});
+    }
+    return view;
+  };
+
+  counts_.publish(snapshot_view(world_.done()));
+  while (!stop_.load(std::memory_order_acquire) && !world_.done()) {
+    world_.step();
+    counts_.publish(snapshot_view(world_.done()));
+  }
+  if (world_.done()) finished_.store(true, std::memory_order_release);
+}
+
+}  // namespace ivc::serve

@@ -1,0 +1,285 @@
+#include "serve/trace.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "serve/snapshot.hpp"
+#include "serve/world.hpp"
+#include "testing/diff_runner.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/string_util.hpp"
+
+namespace ivc::serve {
+
+namespace {
+
+// "IVCT" little-endian, distinct from the snapshot magic so the two file
+// kinds cannot be confused.
+constexpr std::uint32_t kTraceMagic = 0x54435649u;
+constexpr std::uint32_t kTraceVersion = 1;
+
+struct StepRecord {
+  std::uint64_t step = 0;
+  std::uint64_t total_spawned = 0;
+  std::uint64_t events_emitted = 0;
+  std::uint64_t alive = 0;
+  std::uint64_t hash = 0;
+};
+
+void write_source(ByteWriter& w, const TraceSource& source) {
+  w.u8(static_cast<std::uint8_t>(source.kind));
+  w.str(source.name);
+  w.u8(static_cast<std::uint8_t>(source.scale));
+  w.u64(source.case_seed);
+  w.i32(source.threads);
+}
+
+TraceSource read_source(ByteReader& r) {
+  TraceSource source;
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) throw SnapshotError("trace has an unknown source kind");
+  source.kind = static_cast<TraceSource::Kind>(kind);
+  source.name = r.str();
+  const std::uint8_t scale = r.u8();
+  if (scale > 1) throw SnapshotError("trace has an unknown scenario scale");
+  source.scale = static_cast<experiment::ScenarioScale>(scale);
+  source.case_seed = r.u64();
+  source.threads = r.i32();
+  return source;
+}
+
+// Rebuild the traced scenario's configuration. Both source kinds are pure
+// functions of their key, so this yields the recorded run's exact config.
+experiment::ScenarioConfig resolve_config(const TraceSource& source) {
+  experiment::ScenarioConfig config;
+  if (source.kind == TraceSource::Kind::Registry) {
+    const experiment::NamedScenario* named =
+        experiment::ScenarioRegistry::builtin().find(source.name);
+    if (named == nullptr) {
+      throw SnapshotError(
+          util::format("trace references unknown scenario '%s'", source.name.c_str()));
+    }
+    config = named->make(source.scale);
+  } else {
+    config = testing::make_fuzz_case(source.case_seed).config;
+  }
+  if (source.threads >= 0) config.sim.threads = source.threads;
+  return config;
+}
+
+StepRecord observe(const SimWorld& world, const testing::EventStreamHasher& hasher) {
+  StepRecord rec;
+  rec.step = world.engine().step_count();
+  rec.total_spawned = world.engine().total_spawned();
+  rec.events_emitted = world.engine().events_emitted();
+  rec.alive = world.engine().alive_count();
+  rec.hash = hasher.hash();
+  return rec;
+}
+
+void write_record(ByteWriter& w, const StepRecord& rec) {
+  w.u64(rec.step);
+  w.u64(rec.total_spawned);
+  w.u64(rec.events_emitted);
+  w.u64(rec.alive);
+  w.u64(rec.hash);
+}
+
+StepRecord read_record(ByteReader& r) {
+  StepRecord rec;
+  rec.step = r.u64();
+  rec.total_spawned = r.u64();
+  rec.events_emitted = r.u64();
+  rec.alive = r.u64();
+  rec.hash = r.u64();
+  return rec;
+}
+
+// First mismatching field of a step record, or empty when equal.
+std::string diff_records(const StepRecord& recorded, const StepRecord& replayed) {
+  const auto field = [&](const char* name, std::uint64_t want,
+                         std::uint64_t got) -> std::string {
+    if (want == got) return {};
+    return util::format("step %llu: %s recorded=%llu replayed=%llu",
+                        static_cast<unsigned long long>(recorded.step), name,
+                        static_cast<unsigned long long>(want),
+                        static_cast<unsigned long long>(got));
+  };
+  if (auto d = field("step", recorded.step, replayed.step); !d.empty()) return d;
+  if (auto d = field("total_spawned", recorded.total_spawned, replayed.total_spawned);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = field("events_emitted", recorded.events_emitted, replayed.events_emitted);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = field("alive", recorded.alive, replayed.alive); !d.empty()) return d;
+  if (auto d = field("event_hash", recorded.hash, replayed.hash); !d.empty()) return d;
+  return {};
+}
+
+}  // namespace
+
+TraceSource TraceSource::registry(std::string scenario_name, experiment::ScenarioScale s,
+                                  int threads_override) {
+  TraceSource source;
+  source.kind = Kind::Registry;
+  source.name = std::move(scenario_name);
+  source.scale = s;
+  source.threads = threads_override;
+  return source;
+}
+
+TraceSource TraceSource::fuzz_case(std::uint64_t seed, int threads_override) {
+  TraceSource source;
+  source.kind = Kind::FuzzCase;
+  source.case_seed = seed;
+  source.threads = threads_override;
+  return source;
+}
+
+std::string TraceSource::describe() const {
+  if (kind == Kind::Registry) {
+    return util::format("registry:%s (%s)", name.c_str(),
+                        scale == experiment::ScenarioScale::Full ? "full" : "smoke");
+  }
+  return util::format("fuzz-case:0x%016llx", static_cast<unsigned long long>(case_seed));
+}
+
+std::vector<std::uint8_t> record_trace(const TraceSource& source) {
+  const experiment::ScenarioConfig config = resolve_config(source);
+
+  testing::EventStreamHasher hasher;
+  experiment::RunHooks hooks;
+  hooks.observers.push_back(&hasher);
+  SimWorld world(config, hooks);
+  hasher.bind(&world.engine());
+
+  std::vector<StepRecord> records;
+  while (!world.done()) {
+    world.step();
+    records.push_back(observe(world, hasher));
+  }
+  const experiment::RunMetrics metrics = world.finish();
+
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.u32(kTraceMagic);
+  w.u32(kTraceVersion);
+  w.u32(Snapshot::kEndianMark);
+  write_source(w, source);
+  w.u64(records.size());
+  for (const StepRecord& rec : records) write_record(w, rec);
+  // Final digest: the run-level verdicts a replay must also reproduce.
+  w.i64(metrics.protocol_total);
+  w.i64(metrics.truth);
+  w.boolean(metrics.total_exact);
+  w.boolean(metrics.exactly_once);
+  w.boolean(metrics.quiescent);
+  return bytes;
+}
+
+ReplayReport replay_trace(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kTraceMagic) throw SnapshotError("not an IVC trace (bad magic)");
+  const std::uint32_t version = r.u32();
+  if (version != kTraceVersion) {
+    throw SnapshotError(util::format(
+        "trace format version %u is not the supported version %u; re-record the trace "
+        "with this build",
+        version, kTraceVersion));
+  }
+  if (r.u32() != Snapshot::kEndianMark) {
+    throw SnapshotError("trace endianness mark is corrupt");
+  }
+  const TraceSource source = read_source(r);
+  const std::uint64_t record_count = r.u64();
+
+  const experiment::ScenarioConfig config = resolve_config(source);
+  testing::EventStreamHasher hasher;
+  experiment::RunHooks hooks;
+  hooks.observers.push_back(&hasher);
+  SimWorld world(config, hooks);
+  hasher.bind(&world.engine());
+
+  ReplayReport report;
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    const StepRecord recorded = read_record(r);
+    if (world.done()) {
+      report.detail = util::format(
+          "replay converged after %llu steps but the trace has %llu records",
+          static_cast<unsigned long long>(report.steps),
+          static_cast<unsigned long long>(record_count));
+      report.final_hash = hasher.hash();
+      return report;
+    }
+    world.step();
+    ++report.steps;
+    const std::string diff = diff_records(recorded, observe(world, hasher));
+    if (!diff.empty()) {
+      report.detail = diff;
+      report.final_hash = hasher.hash();
+      return report;
+    }
+  }
+  if (!world.done()) {
+    report.detail = util::format(
+        "trace ends after %llu steps but the replay has not converged",
+        static_cast<unsigned long long>(record_count));
+    report.final_hash = hasher.hash();
+    return report;
+  }
+  const experiment::RunMetrics metrics = world.finish();
+
+  const std::int64_t want_total = r.i64();
+  const std::int64_t want_truth = r.i64();
+  const bool want_exact = r.boolean();
+  const bool want_once = r.boolean();
+  const bool want_quiescent = r.boolean();
+  r.expect_end("trace");
+
+  report.final_hash = hasher.hash();
+  if (metrics.protocol_total != want_total) {
+    report.detail = util::format("final protocol_total recorded=%lld replayed=%lld",
+                                 static_cast<long long>(want_total),
+                                 static_cast<long long>(metrics.protocol_total));
+  } else if (metrics.truth != want_truth) {
+    report.detail =
+        util::format("final truth recorded=%lld replayed=%lld",
+                     static_cast<long long>(want_truth), static_cast<long long>(metrics.truth));
+  } else if (metrics.total_exact != want_exact || metrics.exactly_once != want_once ||
+             metrics.quiescent != want_quiescent) {
+    report.detail = util::format(
+        "final verdicts recorded=(exact=%d once=%d quiescent=%d) "
+        "replayed=(exact=%d once=%d quiescent=%d)",
+        want_exact ? 1 : 0, want_once ? 1 : 0, want_quiescent ? 1 : 0,
+        metrics.total_exact ? 1 : 0, metrics.exactly_once ? 1 : 0,
+        metrics.quiescent ? 1 : 0);
+  } else {
+    report.ok = true;
+  }
+  return report;
+}
+
+void write_trace_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SnapshotError(util::format("cannot open '%s' for writing", path.c_str()));
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SnapshotError(util::format("short write to '%s'", path.c_str()));
+}
+
+std::vector<std::uint8_t> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw SnapshotError(util::format("cannot open '%s' for reading", path.c_str()));
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw SnapshotError(util::format("short read from '%s'", path.c_str()));
+  }
+  return bytes;
+}
+
+}  // namespace ivc::serve

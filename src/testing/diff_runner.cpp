@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "experiment/registry.hpp"
+#include "serve/world.hpp"
 #include "testing/reference_kernel.hpp"
+#include "util/rng.hpp"
 #include "util/string_util.hpp"
 
 namespace ivc::testing {
@@ -151,6 +153,72 @@ RunDigest run_digest(const experiment::ScenarioConfig& config, const EngineFacto
   return digest;
 }
 
+// Save at step `snapshot_at`, serialize, parse back, restore into a fresh
+// world, run to completion. The hasher is rebound across the two worlds,
+// so the returned digest hashes the ORIGINAL run's events up to the cut
+// plus the RESUMED run's events after it — exactly what an uninterrupted
+// run must also produce. If the run converges before the cut, the save
+// lands on the final step and the roundtrip degenerates to a save/restore
+// of the finished state (still a real check: finish() must agree).
+RunDigest run_digest_roundtrip(const experiment::ScenarioConfig& config,
+                               const EngineFactory& factory, std::uint64_t snapshot_at) {
+  RunDigest digest;
+  EventStreamHasher hasher;
+
+  experiment::RunHooks hooks;
+  hooks.make_engine = [&](const roadnet::RoadNetwork& net, traffic::SimConfig sim)
+      -> std::unique_ptr<traffic::SimEngine> {
+    std::unique_ptr<traffic::SimEngine> engine =
+        factory ? factory(net, sim) : std::make_unique<traffic::SimEngine>(net, sim);
+    hasher.bind(engine.get());
+    return engine;
+  };
+  hooks.observers = {&hasher};
+  hooks.on_finish = [&](const traffic::SimEngine& engine,
+                        const counting::CountingProtocol& protocol,
+                        const counting::Oracle& oracle) {
+    digest.population_inside = static_cast<std::int64_t>(engine.population_inside());
+    digest.truth = oracle.true_population();
+    digest.checkpoint_totals.reserve(protocol.checkpoints().size());
+    for (const auto& cp : protocol.checkpoints()) {
+      digest.checkpoint_totals.push_back(cp.local_total());
+    }
+  };
+
+  serve::SimWorld original(config, hooks);
+  // Saving before the first step is illegal (the initial placement's spawn
+  // events are still buffered), so the cut point is at least step 1.
+  do {
+    original.step();
+  } while (!original.done() && original.engine().step_count() < snapshot_at);
+
+  serve::Snapshot snap;
+  original.save(snap);
+  const std::vector<std::uint8_t> bytes = snap.to_bytes();
+  const serve::Snapshot parsed = serve::Snapshot::from_bytes(bytes);
+
+  serve::SimWorld resumed(config, hooks, serve::SimWorld::Mode::Restore);
+  resumed.restore(parsed);
+  while (!resumed.done()) resumed.step();
+  const experiment::RunMetrics metrics = resumed.finish();
+
+  digest.event_hash = hasher.hash();
+  digest.events = hasher.event_count();
+  digest.ledger_population = hasher.ledger_population();
+  digest.steps = metrics.steps;
+  digest.transits = metrics.transits;
+  digest.total_spawned = metrics.total_spawned;
+  digest.protocol_total = metrics.protocol_total;
+  digest.collected_total = metrics.collected_total;
+  digest.double_counted = metrics.double_counted;
+  digest.total_exact = metrics.total_exact;
+  digest.exactly_once = metrics.exactly_once;
+  digest.constitution_converged = metrics.constitution_converged;
+  digest.collection_converged = metrics.collection_converged;
+  digest.quiescent = metrics.quiescent;
+  return digest;
+}
+
 // First-divergence report, most-specific signal first: reference-side
 // invariant/route violations beat a plain hash mismatch in diagnosability.
 std::string compare(const RunDigest& fast, const RunDigest& ref) {
@@ -276,6 +344,54 @@ DiffResult diff_case_threads(std::uint64_t case_seed, int threads,
   DiffResult result = diff_config_threads(fc.config, threads, fast_factory);
   result.case_seed = case_seed;
   result.summary = util::format("%s [threads=%d vs serial]", fc.summary.c_str(), threads);
+  return result;
+}
+
+DiffResult diff_config_snapshot(const experiment::ScenarioConfig& config,
+                                std::int64_t snapshot_at, const EngineFactory& fast_factory,
+                                int threads) {
+  experiment::ScenarioConfig run_config = config;
+  if (threads >= 0) run_config.sim.threads = threads;
+
+  std::uint64_t cut = 0;
+  if (snapshot_at > 0) {
+    cut = static_cast<std::uint64_t>(snapshot_at);
+  } else {
+    // Pseudo-random cut in [1, max steps], derived from the config seed so
+    // every bank case probes a different point in its own history.
+    const auto max_steps = static_cast<std::uint64_t>(
+        config.time_limit_minutes * 60.0 / config.sim.dt);
+    const std::uint64_t span = max_steps > 0 ? max_steps : 1;
+    cut = 1 + util::counter_mix(config.seed, span) % span;
+  }
+
+  DiffResult result;
+  result.summary = util::format("%s [snapshot@%llu roundtrip]", config.describe().c_str(),
+                                static_cast<unsigned long long>(cut));
+  result.fast = run_digest_roundtrip(run_config, fast_factory, cut);
+  result.reference = run_digest_fast(run_config, fast_factory);
+  result.divergence = compare(result.fast, result.reference);
+  result.match = result.divergence.empty();
+  return result;
+}
+
+DiffResult diff_case_snapshot(std::uint64_t case_seed, std::int64_t snapshot_at,
+                              const EngineFactory& fast_factory, int threads) {
+  const FuzzCase fc = make_fuzz_case(case_seed);
+  DiffResult result = diff_config_snapshot(fc.config, snapshot_at, fast_factory, threads);
+  result.case_seed = case_seed;
+  result.summary = util::format("%s [snapshot roundtrip]", fc.summary.c_str());
+  return result;
+}
+
+std::optional<DiffResult> diff_named_scenario_snapshot(std::string_view name,
+                                                       std::int64_t snapshot_at) {
+  const experiment::NamedScenario* scenario =
+      experiment::ScenarioRegistry::builtin().find(name);
+  if (scenario == nullptr) return std::nullopt;
+  DiffResult result =
+      diff_config_snapshot(scenario->make(experiment::ScenarioScale::Smoke), snapshot_at);
+  result.summary = scenario->name + ": " + result.summary;
   return result;
 }
 

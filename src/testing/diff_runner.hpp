@@ -128,6 +128,29 @@ struct DiffResult {
 [[nodiscard]] DiffResult diff_case_threads(std::uint64_t case_seed, int threads,
                                            const EngineFactory& fast_factory = {});
 
+// Snapshot-roundtrip mode: the scenario is run to step `snapshot_at`,
+// saved, the snapshot is serialized to bytes, parsed back, restored into a
+// freshly built world, and the run continues to completion. The resulting
+// digest fills the `fast` slot; the `reference` slot is the uninterrupted
+// run at the SAME thread count. A restore that loses or perturbs any state
+// shows up as the usual first-field divergence (event hash, checkpoint
+// totals, oracle verdicts...). `snapshot_at <= 0` derives a pseudo-random
+// step in [1, max steps] from the config seed, so the seed bank probes a
+// different cut point per case. `fast_factory` substitutes the engine
+// under test on BOTH sides; `threads` forces both runs' thread count.
+[[nodiscard]] DiffResult diff_config_snapshot(const experiment::ScenarioConfig& config,
+                                              std::int64_t snapshot_at = -1,
+                                              const EngineFactory& fast_factory = {},
+                                              int threads = -1);
+[[nodiscard]] DiffResult diff_case_snapshot(std::uint64_t case_seed,
+                                            std::int64_t snapshot_at = -1,
+                                            const EngineFactory& fast_factory = {},
+                                            int threads = -1);
+// Same, for a builtin registry scenario at Smoke scale (nullopt when the
+// name is unknown).
+[[nodiscard]] std::optional<DiffResult> diff_named_scenario_snapshot(
+    std::string_view name, std::int64_t snapshot_at = -1);
+
 // Registry hook: diff-check a named scenario from the builtin catalogue at
 // Smoke scale. Returns nullopt when the name is unknown.
 [[nodiscard]] std::optional<DiffResult> diff_named_scenario(std::string_view name);

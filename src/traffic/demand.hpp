@@ -18,6 +18,10 @@
 #include "traffic/router.hpp"
 #include "traffic/sim_engine.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::traffic {
 
 struct DemandConfig {
@@ -64,6 +68,8 @@ class DemandModel {
   [[nodiscard]] std::uint64_t spawned_total() const { return spawned_total_; }
 
  private:
+  friend struct serve::SnapshotAccess;
+
   [[nodiscard]] double speed_factor();
   // Route from `node` to a random interior destination, drawing from `rng`.
   [[nodiscard]] Route roam_route(roadnet::NodeId node, util::StreamRng& rng);

@@ -64,6 +64,16 @@ std::vector<roadnet::EdgeId> Router::plan(roadnet::NodeId from, roadnet::NodeId 
   // keeps the hot path allocation-free without any locking.
   static thread_local std::vector<double> dist_scratch;
   static thread_local std::vector<roadnet::EdgeId> parent_scratch;
+  // The scratch outlives any single Router (thread_local): the same pool
+  // thread may plan on a city-scale network and then on a toy one for a
+  // different engine. Every entry below is (re)written for THIS network —
+  // assign() sizes to n and overwrites the full range, never trusting
+  // leftovers — and a grossly oversized backing store from an earlier,
+  // larger network is released rather than pinned forever.
+  if (dist_scratch.capacity() > 4 * n + 64) {
+    std::vector<double>().swap(dist_scratch);
+    std::vector<roadnet::EdgeId>().swap(parent_scratch);
+  }
   dist_scratch.assign(n, roadnet::kUnreachable);
   parent_scratch.assign(n, roadnet::EdgeId::invalid());
 

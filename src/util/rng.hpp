@@ -172,6 +172,24 @@ class Rng {
   // Split off an independent child stream (for per-vehicle / per-edge noise).
   [[nodiscard]] Rng split();
 
+  // ---- serialization (snapshot/restore) ------------------------------------
+  // The complete generator state: the xoshiro words plus the Marsaglia
+  // spare. Restoring it resumes the exact draw sequence, which is what the
+  // serve-layer snapshot needs to make restore-then-continue bit-identical.
+  struct State {
+    std::uint64_t s[4];
+    double spare_normal = 0.0;
+    bool has_spare_normal = false;
+  };
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, spare_normal_, has_spare_normal_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    spare_normal_ = st.spare_normal;
+    has_spare_normal_ = st.has_spare_normal;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -14,6 +14,10 @@
 
 #include "util/rng.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::v2x {
 
 class Channel {
@@ -58,6 +62,8 @@ class Channel {
   [[nodiscard]] std::uint64_t failures() const { return failures_; }
 
  private:
+  friend struct serve::SnapshotAccess;
+
   double loss_probability_;
   std::uint64_t seed_;
   std::uint64_t anonymous_attempts_ = 0;  // backs the no-entity overload

@@ -17,6 +17,10 @@
 #include "util/assert.hpp"
 #include "v2x/message.hpp"
 
+namespace ivc::serve {
+struct SnapshotAccess;
+}
+
 namespace ivc::v2x {
 
 struct ObuState {
@@ -89,6 +93,8 @@ class ObuRegistry {
   }
 
  private:
+  friend struct serve::SnapshotAccess;
+
   // generation + 1, so the default 0 means "slot never seen".
   [[nodiscard]] static std::uint64_t generation_tag(traffic::VehicleId id) {
     return static_cast<std::uint64_t>(id.generation()) + 1;

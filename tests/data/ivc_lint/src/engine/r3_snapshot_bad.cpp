@@ -1,0 +1,39 @@
+// Fixture: R3 must fire — a shard pass that reaches snapshot I/O, both
+// directly (SimEngine::save one hop down) and by hand-rolling section
+// encoding with the serve-layer codec types. Snapshots serialize
+// globally-owned state and are legal only between steps, from the serial
+// phase; a worker saving mid-step would capture half-mutated arrays.
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace ivc::fixture {
+
+struct Snapshot {
+  std::vector<std::uint8_t>& add_section(const char* name);
+};
+
+class Engine {
+ public:
+  IVC_SHARD_PASS void shard_dynamics_pass(std::uint32_t lane);
+  void save(Snapshot& snap) const;
+
+ private:
+  void checkpoint_lane(std::uint32_t lane);
+  Snapshot snap_;
+};
+
+void Engine::checkpoint_lane(std::uint32_t lane) {
+  (void)lane;
+  save(snap_);  // R3: snapshot I/O one hop below the shard pass
+}
+
+void Engine::shard_dynamics_pass(std::uint32_t lane) {
+  checkpoint_lane(lane);
+  snap_.add_section("lane");  // R3: hand-rolled section encoding in a pass
+}
+
+void Engine::save(Snapshot& snap) const { (void)snap; }
+
+}  // namespace ivc::fixture

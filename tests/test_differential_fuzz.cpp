@@ -98,6 +98,34 @@ TEST(DifferentialFuzz, SeedBankParallelMatchesSerial) {
   EXPECT_EQ(failures, 0);
 }
 
+// The same bank through the snapshot-roundtrip mode: every case is run to
+// a seed-derived cut step, saved, serialized, parsed back, restored into a
+// freshly built world, and run to completion — at threads=1 and threads=4.
+// The digest (event-stream hash, checkpoint totals, oracle verdicts, ...)
+// must be byte-identical to the uninterrupted run at the same thread
+// count. This is the acceptance gate for the serve layer: restore-then-
+// continue is bit-exact, or the snapshot is not a snapshot.
+TEST(DifferentialFuzz, SeedBankSnapshotRoundtripIsBitExact) {
+  int failures = 0;
+  for (int i = 0; i < kBankCases; ++i) {
+    const std::uint64_t seed = bank_seed(kBankCampaignSeed, static_cast<std::uint64_t>(i));
+    for (const int threads : {1, 4}) {
+      const DiffResult diff = diff_case_snapshot(seed, /*snapshot_at=*/-1, {}, threads);
+      if (!diff.match) {
+        ++failures;
+        ADD_FAILURE() << "case " << i << " lost state across save/restore\n  "
+                      << diff.summary << "\n  divergence: " << diff.divergence
+                      << "\n  replay: ivc_fuzz --snapshot-at -1 --threads " << threads
+                      << " --replay "
+                      << util::format("0x%llx", static_cast<unsigned long long>(seed));
+      }
+      EXPECT_GT(diff.fast.steps, 0u);
+    }
+    if (failures >= 3) break;  // enough signal; keep the log readable
+  }
+  EXPECT_EQ(failures, 0);
+}
+
 // ---- injected-bug self-tests ------------------------------------------------
 
 // Skips the last occupied-lane worklist entry in the dynamics phase — the

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "roadnet/manhattan.hpp"
 #include "traffic/demand.hpp"
@@ -73,6 +74,44 @@ TEST(Router, JitterDiversifiesRoutes) {
     distinct.insert(key);
   }
   EXPECT_GT(distinct.size(), 3u);
+}
+
+TEST(Router, ScratchSurvivesNetworkSwitchOnOneThread) {
+  // plan()'s workspace arrays are thread_local — shared by every Router
+  // and network a thread ever serves, sized for whichever network planned
+  // last (and shrunk when a small network follows a much larger one).
+  // Interleave a city-scale grid with a 4-node ring on this thread, then
+  // replay the interleaving on a fresh thread the way an engine pool
+  // worker would hit it: every route must stay valid and in-network.
+  roadnet::ManhattanConfig big_cfg;
+  big_cfg.streets = 12;
+  big_cfg.avenues = 12;
+  const RoadNetwork big = make_manhattan_grid(big_cfg);
+  const RoadNetwork small = make_ring(4);
+  Router big_router(big, 7);
+  Router small_router(small, 9);
+
+  const auto check = [](const RoadNetwork& net, Router& router, NodeId from, NodeId to) {
+    const auto path = router.plan(from, to);
+    ASSERT_FALSE(path.empty());
+    NodeId cur = from;
+    for (const EdgeId e : path) {
+      ASSERT_LT(e.value(), net.num_segments());
+      ASSERT_EQ(net.segment(e).from, cur);
+      cur = net.segment(e).to;
+    }
+    EXPECT_EQ(cur, to);
+  };
+  const auto interleave = [&] {
+    check(big, big_router, NodeId{0},
+          NodeId{static_cast<std::uint32_t>(big.num_intersections() - 1)});
+    check(small, small_router, NodeId{0}, NodeId{3});
+    check(big, big_router, NodeId{5}, NodeId{77});
+    check(small, small_router, NodeId{2}, NodeId{1});
+  };
+  interleave();
+  std::thread pool_worker(interleave);
+  pool_worker.join();
 }
 
 TEST(Router, RandomDestinationAvoidsCurrent) {

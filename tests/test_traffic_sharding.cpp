@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
@@ -333,6 +334,54 @@ TEST(ShardOwnership, SerialOnlyDespawnInsideShardContextAborts) {
   EXPECT_EQ(serial_engine.alive_vehicles().size(), 0u);
   // ...and aborts with the ownership assertion inside a shard context.
   EXPECT_DEATH(engine.despawn_from_inside_shard(id), "tls_shard_ == nullptr");
+}
+
+// The TlsGuard in run_sharded is a scope guard precisely so that a shard
+// body throwing (a route-planner callback can) cannot leave the caller
+// thread — worker 0 — with a stale shard context after the fork-join
+// rethrows. Regression shape: drive a genuinely sharded step whose
+// planner throws, catch the rethrow, then perform a serial-only mutation.
+// With a stale tls_shard_ the despawn's ownership assertion would abort
+// the process; with the guard it must succeed.
+TEST(ShardExceptionSafety, ThrowingPlannerLeavesSerialPathUsable) {
+  // 32 segments x 2 lanes = 64 occupied lanes: over the sharding grain, so
+  // the dynamics phase really forks across the 4-worker team.
+  const SaturatedRing ring(32, 2);
+  SimConfig config;
+  config.threads = 4;
+  ShardOwnershipProbeEngine engine(ring.net, config);
+  ExteriorAttributes attrs;
+  attrs.type = BodyType::Sedan;
+  for (std::uint32_t s = 0; s < ring.edges.size(); ++s) {
+    const int lanes = ring.net.segment(ring.edges[s]).lanes;
+    for (int lane = 0; lane < lanes; ++lane) {
+      // Non-cyclic single-edge continuations (the route holds the edges
+      // *after* the spawn edge): one transit exhausts it, and the next
+      // stop line must consult the planner — from inside the sharded
+      // dynamics pass.
+      Route route;
+      route.edges = {ring.edges[(s + 1) % ring.edges.size()]};
+      ASSERT_TRUE(engine.spawn_at(ring.edges[s], lane, 120.0, attrs, route, 1.0).valid());
+      ASSERT_TRUE(engine.spawn_at(ring.edges[s], lane, 40.0, attrs, route, 1.0).valid());
+    }
+  }
+  engine.set_route_planner([](VehicleId, roadnet::NodeId) -> Route {
+    throw std::runtime_error("planner failure injected by test");
+  });
+
+  bool threw = false;
+  try {
+    for (int i = 0; i < 400; ++i) engine.step();
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  ASSERT_TRUE(threw) << "no vehicle consulted the planner; the setup went stale";
+
+  // Caller thread survived the rethrow; its shard context must be gone.
+  ASSERT_FALSE(engine.alive_vehicles().empty());
+  const std::size_t before = engine.alive_vehicles().size();
+  engine.despawn_serially(engine.alive_vehicles().front());
+  EXPECT_EQ(engine.alive_vehicles().size(), before - 1);
 }
 
 TEST(ShardSoA, SingleSegmentRingDegeneratesToOneShard) {

@@ -12,8 +12,9 @@ R1  determinism sources: no ad-hoc randomness outside src/util/rng*, no
 R2  no iteration over unordered containers (hash order is
     implementation-defined) unless IVC_ORDER_EXEMPT'd.
 R3  shard-pass purity: functions marked IVC_SHARD_PASS must not reach
-    (via the direct call graph) I/O, logging, shared sequential RNG, or
-    functions marked IVC_SERIAL_ONLY.
+    (via the direct call graph) I/O, logging, shared sequential RNG,
+    snapshot serialization (save/restore is legal only between steps,
+    from the serial phase), or functions marked IVC_SERIAL_ONLY.
 R4  VehicleStore hot-array encapsulation: no direct hot-column indexing
     outside src/traffic/.
 """
@@ -71,6 +72,16 @@ LOG_SINKS = {
 SHARED_RNG_IDENTS = {"rng_"}
 SHARED_RNG_CALLS = {"rng"} | RNG_BANNED
 SHARED_RNG_TYPES = {"Rng"}
+# Snapshot/trace serialization (src/serve/): save/restore walks and
+# encodes globally-owned engine state and is legal only *between* steps —
+# a shard pass reaching it would serialize state other workers are
+# mutating mid-step. Call names below are the serve-layer entry points;
+# the bare types catch hand-rolled section encoding inside a pass.
+SNAPSHOT_SINKS = {
+    "save", "restore", "to_bytes", "from_bytes", "add_section",
+    "record_trace", "replay_trace", "write_trace_file", "read_trace_file",
+}
+SNAPSHOT_TYPES = {"SnapshotAccess", "ByteWriter", "ByteReader", "Snapshot"}
 
 # --- R4 ---------------------------------------------------------------------
 
@@ -78,7 +89,11 @@ HOT_FIELDS = {
     "position", "prev_position", "speed", "length", "desired_speed_factor",
     "driver", "edge", "lane", "lane_change_cooldown", "is_patrol",
 }
-R4_ALLOWED_PREFIX = "src/traffic/"
+# src/traffic/ owns the layout; the snapshot serializer is the one
+# sanctioned outside consumer — a full-fidelity dump of every column is
+# layout-coupled by definition (and bumps Snapshot::kVersion when the
+# layout changes, which is the contract R4 exists to protect).
+R4_ALLOWED_PREFIXES = ("src/traffic/", "src/serve/snapshot")
 
 
 @dataclass
@@ -318,6 +333,11 @@ def _scan_shard_body(out: list[Finding], model: FileModel, fn: Function,
                   f"{path_desc} touches shared sequential RNG ('{t.value}') — "
                   "draw through util::StreamRng / draw_for so results don't "
                   "depend on shard interleaving")
+        elif (is_call and t.value in SNAPSHOT_SINKS) or t.value in SNAPSHOT_TYPES:
+            _emit(out, model, "R3", t.line,
+                  f"{path_desc} reaches snapshot I/O ('{t.value}') — "
+                  "save/restore serializes globally-owned state and is legal "
+                  "only between steps, from the serial phase")
 
 
 def check_r3(models: list[FileModel]) -> list[Finding]:
@@ -340,7 +360,7 @@ def check_r3(models: list[FileModel]) -> list[Finding]:
 # ---------------------------------------------------------------------------
 
 def check_r4(model: FileModel) -> list[Finding]:
-    if model.path.startswith(R4_ALLOWED_PREFIX):
+    if model.path.startswith(R4_ALLOWED_PREFIXES):
         return []
     out: list[Finding] = []
     toks = model.tokens

@@ -180,18 +180,28 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_trend(args: argparse.Namespace) -> int:
+    # An empty report set is a normal state of the world (a fresh branch has
+    # no committed BENCH_pr*.json history yet, and an unmatched shell glob
+    # arrives here as zero arguments) — loud-skip it, never crash on it.
+    if not args.reports:
+        skip("trend: no BENCH_*.json reports given; nothing to tabulate")
+        return 0
     reports = []
     for path in args.reports:
         report = load_report(path, schemas=TREND_SCHEMAS)
         reports.append((os.path.basename(path), report, steps_per_sec(report)))
-    if not reports:
-        raise SystemExit("perf_compare: trend needs at least one report")
 
     scenarios: list[str] = []
     for _, _, rows in reports:
         for name, threads in rows:
             if threads == 1 and name not in scenarios:
                 scenarios.append(name)
+    if not scenarios:
+        skip(
+            "trend: the given report(s) contain no serial (threads=1) scenario "
+            "rows; nothing to tabulate"
+        )
+        return 0
 
     hosts = {label: host_nproc(report) for label, report, _ in reports}
     if len(set(hosts.values())) > 1:
@@ -201,7 +211,10 @@ def cmd_trend(args: argparse.Namespace) -> int:
         )
 
     labels = [label for label, _, _ in reports]
-    widths = [max(len("scenario"), *(len(s) for s in scenarios))] + [
+    # max() over a single list: `max(a, *generator)` raises TypeError when
+    # the generator is empty, and guarding scenarios above must not be the
+    # only thing keeping this line alive.
+    widths = [max([len("scenario")] + [len(s) for s in scenarios])] + [
         max(len(label), 12) for label in labels
     ]
     header = ["scenario"] + labels
@@ -217,6 +230,8 @@ def cmd_trend(args: argparse.Namespace) -> int:
         "perf_compare: serial (threads=1) steps/s per committed report; "
         "higher is better, read left to right for the trajectory"
     )
+    if len(reports) < 2:
+        skip("trend: only one report; a single column is a reading, not a trajectory")
     return 0
 
 
@@ -248,7 +263,9 @@ def main(argv: list[str]) -> int:
     compare.set_defaults(func=cmd_compare)
 
     trend = sub.add_parser("trend", help="serial steps/s table across reports")
-    trend.add_argument("reports", nargs="+", help="BENCH_pr*.json files, oldest first")
+    # nargs="*", not "+": an unmatched shell glob legitimately passes zero
+    # files, which trend loud-skips instead of dying on a usage error.
+    trend.add_argument("reports", nargs="*", help="BENCH_pr*.json files, oldest first")
     trend.set_defaults(func=cmd_trend)
 
     args = parser.parse_args(argv)
